@@ -1,0 +1,32 @@
+# Convenience targets for the DVH reproduction.
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro table3
+	python -m repro figure 7
+	python -m repro figure 8
+	python -m repro figure 9
+	python -m repro figure 10
+	python -m repro migration
+
+examples:
+	python examples/quickstart.py
+	python examples/exit_multiplication.py
+	python examples/live_migration.py
+	python examples/cloud_stack.py
+	python examples/why_is_it_slow.py
+	python examples/custom_workload.py
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

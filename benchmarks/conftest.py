@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates a row/series of one of the paper's tables or
+figures and writes the rendered result under ``benchmarks/results/`` (and
+prints it with ``pytest -s``).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """save(name, text): persist one rendered result and echo it."""
+
+    def save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return save

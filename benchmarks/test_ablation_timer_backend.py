@@ -1,0 +1,98 @@
+"""Ablation: timer-emulation backends and delivery paths (§3.2).
+
+The paper notes timer emulation "can be done by using software timer
+functionality, such as Linux hrtimers, or by leveraging architectural
+support for timers, such as the VMX-Preemption Timer", and that virtual
+timers "can be further optimized to deliver timer interrupts to the
+nested VM directly from the host hypervisor using posted interrupts".
+This bench quantifies both design choices.
+"""
+
+from repro.core.features import DvhFeatures
+from repro.hv.stack import StackConfig, build_stack
+from repro.hw.lapic import TIMER_VECTOR
+
+
+def expiry_latency(stack, delay=200_000) -> float:
+    stack.settle()
+    ctx = stack.ctx(0)
+    got = {}
+
+    def guest():
+        start = stack.sim.now
+        yield from ctx.program_timer(ctx.read_tsc() + delay, TIMER_VECTOR)
+        yield from ctx.wait_for_interrupt()
+        got["latency"] = stack.sim.now - start - delay
+
+    stack.sim.run_process(guest())
+    return got["latency"]
+
+
+def test_ablation_timer_backend_and_delivery(benchmark, save_result):
+    def run():
+        return {
+            "hrtimer backend (L1)": expiry_latency(
+                build_stack(StackConfig(levels=1, timer_backend="hrtimer"))
+            ),
+            "preemption-timer backend (L1)": expiry_latency(
+                build_stack(StackConfig(levels=1, timer_backend="preemption"))
+            ),
+            "vtimer, posted delivery (L2)": expiry_latency(
+                build_stack(
+                    StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full())
+                )
+            ),
+            "vtimer, via guest hv (L2)": expiry_latency(
+                build_stack(
+                    StackConfig(
+                        levels=2,
+                        io_model="vp",
+                        dvh=DvhFeatures.full().with_(vtimer_direct_delivery=False),
+                    )
+                )
+            ),
+            "emulated timer, no DVH (L2)": expiry_latency(
+                build_stack(StackConfig(levels=2, io_model="virtio"))
+            ),
+        }
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "Ablation: timer expiry-to-delivery latency (cycles)\n" + "\n".join(
+        f"  {k:34s} {v:>12,.0f}" for k, v in cells.items()
+    )
+    save_result("ablation_timer_backend", text)
+
+    # The §3.2 optimization: direct posted delivery beats routing the
+    # expiry through the guest hypervisor...
+    assert cells["vtimer, posted delivery (L2)"] < cells["vtimer, via guest hv (L2)"]
+    # ...and even the unoptimized virtual timer beats full emulation.
+    assert cells["vtimer, via guest hv (L2)"] <= cells["emulated timer, no DVH (L2)"] * 1.2
+
+
+def test_arm_dvh_vp_gain(benchmark, save_result):
+    """§4's one-line ARM result: DVH-VP significantly improves nested
+    I/O on ARM too (I/O models are platform-agnostic)."""
+    from repro.workloads.microbench import run_microbenchmark
+
+    def run():
+        out = {}
+        for arch in ("x86", "arm"):
+            virtio = build_stack(
+                StackConfig(levels=2, io_model="virtio", arch=arch)
+            )
+            vp = build_stack(
+                StackConfig(
+                    levels=2, io_model="vp", dvh=DvhFeatures.vp_only(), arch=arch
+                )
+            )
+            out[f"{arch} nested virtio"] = run_microbenchmark(virtio, "DevNotify", 15)
+            out[f"{arch} nested DVH-VP"] = run_microbenchmark(vp, "DevNotify", 15)
+        return out
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "DevNotify on x86 vs ARM (cycles)\n" + "\n".join(
+        f"  {k:24s} {v:>12,.0f}" for k, v in cells.items()
+    )
+    save_result("arm_devnotify", text)
+    for arch in ("x86", "arm"):
+        assert cells[f"{arch} nested DVH-VP"] < cells[f"{arch} nested virtio"] / 2.5

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""An IaaS-on-IaaS scenario: the workload mix the paper's intro motivates.
+
+A customer rents a VM from a cloud provider and runs their own hypervisor
+inside it (security sandboxing, legacy-OS support, or their own
+mini-cloud) — so their applications live in *nested* VMs.  This example
+runs a latency-sensitive service (netperf RR), a web tier (apache), and a
+batch job (hackbench) side-by-side on three software stacks and reports
+what the customer would actually observe.
+
+It also demonstrates the recursive story (§3.5): the same services in an
+L3 VM, where only DVH remains usable.
+
+Run:  python examples/cloud_stack.py
+"""
+
+from repro import DvhFeatures, PAPER_NATIVE, StackConfig, build_stack, run_app
+
+SERVICES = ["netperf_rr", "apache", "hackbench"]
+
+
+def measure(config: StackConfig, scale: float = 0.3):
+    out = {}
+    for app in SERVICES:
+        stack = build_stack(config)
+        out[app] = run_app(stack, app, scale=scale)
+    return out
+
+
+def main() -> None:
+    print("Measuring the customer's three services on each stack...\n")
+    native = measure(StackConfig(levels=0, io_model="native"))
+
+    stacks = {
+        "provider VM only (no nesting)": StackConfig(levels=1, io_model="virtio"),
+        "customer hypervisor, paravirtual I/O": StackConfig(
+            levels=2, io_model="virtio"
+        ),
+        "customer hypervisor, DVH": StackConfig(
+            levels=2, io_model="vp", dvh=DvhFeatures.full()
+        ),
+        "three levels deep, paravirtual I/O": StackConfig(
+            levels=3, io_model="virtio"
+        ),
+        "three levels deep, DVH": StackConfig(
+            levels=3, io_model="vp", dvh=DvhFeatures.full()
+        ),
+    }
+
+    header = f"{'stack':42s}" + "".join(f"{s:>14s}" for s in SERVICES)
+    print(header)
+    print("-" * len(header))
+    for name, config in stacks.items():
+        scale = 0.1 if config.levels >= 3 and config.io_model == "virtio" else 0.3
+        results = measure(config, scale=scale)
+        cells = "".join(
+            f"{results[app].overhead_vs(native[app]):>13.2f}x" for app in SERVICES
+        )
+        print(f"{name:42s}{cells}")
+
+    print(
+        "\n(Values are slowdowns vs bare metal.  With paravirtual I/O the"
+        "\ncustomer's services degrade several-fold per nesting level; with"
+        "\nDVH they stay near single-VM speed at any depth — and unlike"
+        "\ndevice passthrough, the provider can still live-migrate them.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Bring your own workload: evaluate DVH for *your* application.
+
+The seven paper workloads are just `RRSpec`/`StreamSpec`/`HackbenchSpec`
+values.  This example models a hypothetical gRPC-style microservice —
+2 KB requests, 8 KB responses, a cache lookup (one IPI to a sibling
+worker every few requests), a deadline timer per request — and asks the
+question a platform team would: *is it safe to run this service under a
+customer hypervisor, and does DVH change the answer?*
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import DvhFeatures, StackConfig, build_stack
+from repro.workloads.engines import RRSpec, run_rr
+
+MICROSERVICE = RRSpec(
+    name="grpc-microservice",
+    txns=200,
+    concurrency=16,
+    request_size=2_048,
+    response_size=8_192,
+    response_seg=1_448,
+    kick_every=2,
+    compute=60_000,  # ~27 us of handler logic per request
+    ipi_rate=0.3,  # shared-cache lookups wake a sibling worker
+    timer_rate=1.0,  # per-request deadline timer
+    workers=4,
+)
+
+
+def main() -> None:
+    print(f"Evaluating '{MICROSERVICE.name}' "
+          f"({MICROSERVICE.compute:,} cycles/request, "
+          f"{MICROSERVICE.concurrency} in flight)\n")
+
+    configs = {
+        "bare metal": StackConfig(levels=0, io_model="native"),
+        "provider VM": StackConfig(levels=1, io_model="virtio"),
+        "nested, paravirtual": StackConfig(levels=2, io_model="virtio"),
+        "nested, passthrough": StackConfig(levels=2, io_model="passthrough"),
+        "nested, DVH": StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()),
+    }
+    baseline = None
+    print(f"{'stack':24s}{'throughput':>14s}{'mean lat':>12s}{'p99 lat':>12s}{'slowdown':>10s}")
+    for name, config in configs.items():
+        result = run_rr(build_stack(config), MICROSERVICE)
+        if baseline is None:
+            baseline = result
+        print(
+            f"{name:24s}{result.value:>12,.0f}/s"
+            f"{result.mean_latency_s * 1e6:>10.1f}us"
+            f"{result.latency_percentile(99) * 1e6:>10.1f}us"
+            f"{result.overhead_vs(baseline):>9.2f}x"
+        )
+
+    print(
+        "\nThe knobs that matter are all in the spec: crank `timer_rate`"
+        "\nor `ipi_rate` and the nested-paravirtual column degrades while"
+        "\nDVH barely moves — the same diagnosis `python -m repro analyze`"
+        "\ngives for the paper's workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

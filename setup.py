@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+offline environments that lack the `wheel` package required by the
+PEP 517 editable path.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""DVH — Direct Virtual Hardware for nested virtualization.
+
+A full-system reproduction of *"Optimizing Nested Virtualization
+Performance Using Direct Virtual Hardware"* (Lim & Nieh, ASPLOS 2020) on
+a deterministic, cycle-accounting simulator of an x86 machine with
+single-level hardware virtualization support.
+
+Quickstart::
+
+    from repro import DvhFeatures, StackConfig, build_stack, run_app
+
+    nested = build_stack(StackConfig(levels=2, io_model="virtio"))
+    dvh = build_stack(
+        StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full())
+    )
+    baseline = build_stack(StackConfig(levels=0, io_model="native"))
+
+    native = run_app(baseline, "memcached")
+    print(run_app(nested, "memcached").overhead_vs(native))  # ~4x
+    print(run_app(dvh, "memcached").overhead_vs(native))     # ~1.5x
+
+Layers:
+
+* :mod:`repro.sim` — discrete-event engine and the cycle-cost model;
+* :mod:`repro.hw` — simulated hardware: CPUs/VMX/EPT/APIC/IOMMU/PCI/devices;
+* :mod:`repro.hv` — the KVM-like hypervisor stack (plus a Xen flavour);
+* :mod:`repro.core` — the paper's contribution: the four DVH mechanisms
+  and DVH migration;
+* :mod:`repro.workloads` — Table 1 microbenchmarks, Table 2 applications;
+* :mod:`repro.bench` — harness regenerating every table and figure.
+"""
+
+from repro.core.features import DvhFeatures
+from repro.hv.stack import Stack, StackConfig, build_stack
+from repro.hw.machine import Machine
+from repro.sim import CostModel, Simulator, default_costs
+from repro.workloads.apps import PAPER_NATIVE, app_names, run_app
+from repro.workloads.microbench import run_microbenchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DvhFeatures",
+    "Stack",
+    "StackConfig",
+    "build_stack",
+    "Machine",
+    "CostModel",
+    "Simulator",
+    "default_costs",
+    "PAPER_NATIVE",
+    "app_names",
+    "run_app",
+    "run_microbenchmark",
+    "__version__",
+]

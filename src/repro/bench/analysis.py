@@ -1,0 +1,111 @@
+"""Per-workload exit analysis: *why* each configuration is slow.
+
+The paper explains its figures in terms of which guest-hypervisor
+interventions each workload triggers (Figure 8's narrative).  This
+module measures it directly: run a workload under several
+configurations and break the hardware exits and guest-hypervisor
+interventions down per transaction and per reason.
+
+    >>> from repro.bench.analysis import exit_breakdown, format_breakdown
+    >>> print(format_breakdown(exit_breakdown("memcached")))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.features import DvhFeatures
+from repro.hv.stack import StackConfig, build_stack
+from repro.workloads.apps import run_app
+
+__all__ = ["BreakdownRow", "exit_breakdown", "format_breakdown", "DEFAULT_BREAKDOWN_CONFIGS"]
+
+DEFAULT_BREAKDOWN_CONFIGS: List[Tuple[str, Callable[[], StackConfig]]] = [
+    ("Nested VM", lambda: StackConfig(levels=2, io_model="virtio")),
+    (
+        "Nested VM + DVH",
+        lambda: StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()),
+    ),
+]
+
+
+@dataclass
+class BreakdownRow:
+    """One configuration's exit profile for one workload."""
+
+    config: str
+    txns: int
+    throughput: float
+    unit: str
+    #: reason -> hardware exits per transaction.
+    exits_per_txn: Dict[str, float] = field(default_factory=dict)
+    #: reason -> guest-hypervisor interventions per transaction.
+    interventions_per_txn: Dict[str, float] = field(default_factory=dict)
+    #: interrupt (kind, mode) -> per transaction.
+    interrupts_per_txn: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    dvh_handled_per_txn: float = 0.0
+
+
+def exit_breakdown(
+    app: str,
+    configs: Optional[List[Tuple[str, Callable[[], StackConfig]]]] = None,
+    scale: float = 0.3,
+) -> List[BreakdownRow]:
+    """Measure the exit profile of ``app`` under each configuration."""
+    rows: List[BreakdownRow] = []
+    for name, factory in configs or DEFAULT_BREAKDOWN_CONFIGS:
+        stack = build_stack(factory())
+        stack.settle()
+        before = stack.metrics.copy()
+        result = run_app(stack, app, scale=scale)
+        delta = stack.metrics.diff(before)
+        n = max(result.txns, 1)
+        row = BreakdownRow(
+            config=name,
+            txns=result.txns,
+            throughput=result.value,
+            unit=result.unit,
+        )
+        for (_lvl, reason), count in delta.exits.items():
+            row.exits_per_txn[reason] = row.exits_per_txn.get(reason, 0.0) + count / n
+        for (_lvl, reason, _owner), count in delta.forwards.items():
+            row.interventions_per_txn[reason] = (
+                row.interventions_per_txn.get(reason, 0.0) + count / n
+            )
+        for key, count in delta.interrupts.items():
+            row.interrupts_per_txn[key] = count / n
+        row.dvh_handled_per_txn = sum(delta.dvh_handled.values()) / n
+        rows.append(row)
+    return rows
+
+
+def format_breakdown(rows: List[BreakdownRow], app: str = "") -> str:
+    """Render the breakdown side by side."""
+    reasons = sorted({r for row in rows for r in row.exits_per_txn})
+    width = max((len(r.config) for r in rows), default=10) + 2
+    lines = []
+    if app:
+        lines.append(f"Exit breakdown: {app} (per transaction)")
+    header = f"{'exit reason':<18}" + "".join(f"{r.config:>{width}}" for r in rows)
+    lines.append(header)
+    for reason in reasons:
+        cells = "".join(
+            f"{row.exits_per_txn.get(reason, 0.0):>{width}.2f}" for row in rows
+        )
+        lines.append(f"{reason:<18}{cells}")
+    lines.append(
+        f"{'— forwarded':<18}"
+        + "".join(
+            f"{sum(row.interventions_per_txn.values()):>{width}.2f}" for row in rows
+        )
+    )
+    lines.append(
+        f"{'— DVH handled':<18}"
+        + "".join(f"{row.dvh_handled_per_txn:>{width}.2f}" for row in rows)
+    )
+    lines.append(
+        f"{'throughput':<18}"
+        + "".join(f"{row.throughput:>{width},.0f}" for row in rows)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""ASCII renderings of the paper's figures.
+
+The paper plots performance overhead as grouped bar charts with a
+clipped y-axis (out-of-range bars get printed labels, like Figure 9's
+"126 32 99 108...").  This renders the same thing for terminals:
+
+    Figure 7: Application performance
+    netperf_rr
+      VM                        |#####                | 1.28
+      Nested VM                 |#####################| 5.17
+      ...
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.runner import FigureResult
+
+__all__ = ["ascii_figure", "ascii_bar"]
+
+
+def ascii_bar(value: float, vmax: float, width: int) -> str:
+    """One clipped bar: ``|####     |`` with a ``>`` when clipped."""
+    if vmax <= 0:
+        raise ValueError("vmax must be positive")
+    clipped = min(value, vmax)
+    filled = int(round(clipped / vmax * width))
+    filled = min(filled, width)
+    bar = "#" * filled + " " * (width - filled)
+    if value > vmax:
+        bar = bar[:-1] + ">"
+    return f"|{bar}|"
+
+
+def ascii_figure(
+    result: FigureResult,
+    width: int = 40,
+    clip: Optional[float] = None,
+) -> str:
+    """Render a FigureResult as grouped horizontal bars.
+
+    ``clip`` bounds the axis (like the paper's clipped figures); bars
+    beyond it are truncated and annotated with their value — which the
+    numeric column shows anyway.  Default: the 95th-percentile-ish max,
+    so one extreme bar doesn't flatten everything else.
+    """
+    values = [v for row in result.overheads.values() for v in row.values()]
+    if not values:
+        return result.title + "\n(no data)"
+    if clip is None:
+        ordered = sorted(values)
+        clip = max(ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))], 1.0)
+    label_width = max(len(c) for c in result.configs) + 2
+    lines = [
+        result.title,
+        f"Performance overhead vs native (axis clipped at {clip:.1f}x; "
+        "'>' = off scale)",
+        "",
+    ]
+    for app, row in result.overheads.items():
+        lines.append(app)
+        for config in result.configs:
+            value = row[config]
+            lines.append(
+                f"  {config:<{label_width}}"
+                f"{ascii_bar(value, clip, width)} {value:.2f}"
+            )
+        lines.append("")
+    return "\n".join(lines)

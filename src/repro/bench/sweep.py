@@ -1,0 +1,110 @@
+"""Parameter sweeps: sensitivity analysis over the calibration surface.
+
+Two sweep axes matter for trusting a calibrated simulator:
+
+* **cost-model sensitivity** — if an ordering (DVH < passthrough <
+  paravirtual) only holds for one magic value of a leaf constant, the
+  reproduction is fragile.  :func:`sweep_cost` re-measures a metric
+  while scaling one `CostModel` field.
+* **workload-parameter sweeps** — vary a spec field (concurrency,
+  message size, op rates) and watch the metric; used to find crossover
+  points, e.g. the message size at which nested paravirtual I/O stops
+  being CPU-bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.hv.stack import StackConfig, build_stack
+from repro.sim import default_costs
+
+__all__ = ["SweepResult", "sweep_cost", "sweep_levels", "sweep_spec", "format_sweep"]
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """One sweep: the swept values and the measured metric per value."""
+
+    parameter: str
+    metric: str
+    points: List[Tuple[Any, float]] = dataclasses.field(default_factory=list)
+
+    def values(self) -> List[float]:
+        return [v for _x, v in self.points]
+
+    def monotonic_increasing(self) -> bool:
+        vs = self.values()
+        return all(b >= a for a, b in zip(vs, vs[1:]))
+
+    def spread(self) -> float:
+        """max/min ratio of the measured metric across the sweep."""
+        vs = self.values()
+        lo = min(vs)
+        return max(vs) / lo if lo else float("inf")
+
+
+def sweep_cost(
+    field: str,
+    factors: Sequence[float],
+    measure: Callable[[StackConfig], float],
+    config: Optional[StackConfig] = None,
+    metric: str = "cycles",
+) -> SweepResult:
+    """Scale one cost-model field by each factor and re-measure.
+
+    Builds a fresh stack per point, installs the scaled cost model on
+    its machine, and calls ``measure(stack)``.
+    """
+    base = default_costs()
+    result = SweepResult(parameter=field, metric=metric)
+    for factor in factors:
+        cfg = dataclasses.replace(config) if config else StackConfig(levels=2)
+        stack = build_stack(cfg)
+        value = getattr(base, field)
+        scaled = base.scaled(**{field: type(value)(value * factor)})
+        stack.machine.costs = scaled
+        result.points.append((factor, measure(stack)))
+    return result
+
+
+def sweep_levels(
+    measure: Callable[[Any], float],
+    levels: Sequence[int] = (1, 2, 3),
+    metric: str = "cycles",
+    **config_kwargs: Any,
+) -> SweepResult:
+    """Measure across virtualization depths."""
+    result = SweepResult(parameter="levels", metric=metric)
+    for level in levels:
+        stack = build_stack(StackConfig(levels=level, **config_kwargs))
+        result.points.append((level, measure(stack)))
+    return result
+
+
+def sweep_spec(
+    spec,
+    field: str,
+    values: Sequence[Any],
+    runner: Callable[[Any, Any], Any],
+    stack_factory: Callable[[], Any],
+    metric: str = "value",
+) -> SweepResult:
+    """Vary one workload-spec field; ``runner(stack, spec)`` must return
+    an AppResult-like object with ``.value``."""
+    result = SweepResult(parameter=field, metric=metric)
+    for v in values:
+        varied = dataclasses.replace(spec, **{field: v})
+        stack = stack_factory()
+        outcome = runner(stack, varied)
+        result.points.append((v, outcome.value))
+    return result
+
+
+def format_sweep(result: SweepResult) -> str:
+    lines = [f"Sweep of {result.parameter} ({result.metric})"]
+    for x, v in result.points:
+        lines.append(f"  {x!s:>10}  {v:>14,.2f}")
+    lines.append(f"  spread: {result.spread():.2f}x")
+    return "\n".join(lines)

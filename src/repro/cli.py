@@ -1,0 +1,167 @@
+"""Command-line interface: reproduce any of the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table3
+    python -m repro figure 7
+    python -m repro figure 8 --apps memcached netperf_rr
+    python -m repro migration
+    python -m repro micro ProgramTimer --levels 2 --dvh full
+    python -m repro app memcached --levels 2 --io vp --dvh full --report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.features import DvhFeatures
+from repro.hv.stack import StackConfig, build_stack
+from repro.workloads.apps import app_names, run_app
+from repro.workloads.microbench import MICROBENCHMARKS, run_microbenchmark
+
+__all__ = ["main", "build_parser"]
+
+DVH_PRESETS = {
+    "none": DvhFeatures.none,
+    "vp": DvhFeatures.vp_only,
+    "full": DvhFeatures.full,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "DVH (ASPLOS 2020) reproduction: regenerate the paper's tables "
+            "and figures, or run individual workloads on any configuration."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table3", help="Table 3: microbenchmark cycles")
+
+    fig = sub.add_parser("figure", help="Figures 7/8/9/10: application overheads")
+    fig.add_argument("number", choices=["7", "8", "9", "10"])
+    fig.add_argument("--apps", nargs="*", choices=app_names(), default=None)
+    fig.add_argument("--scale", type=float, default=None, help="txn-count scale")
+    fig.add_argument(
+        "--chart", action="store_true", help="render as an ASCII bar chart"
+    )
+
+    sub.add_parser("migration", help="the Section 4 migration experiment")
+
+    def add_stack_args(p):
+        p.add_argument("--levels", type=int, default=2, choices=[0, 1, 2, 3, 4, 5])
+        p.add_argument(
+            "--io", default=None, choices=["native", "virtio", "passthrough", "vp"]
+        )
+        p.add_argument("--dvh", default="none", choices=sorted(DVH_PRESETS))
+        p.add_argument("--guest-hv", default="kvm", choices=["kvm", "xen"])
+
+    micro = sub.add_parser("micro", help="one Table 1 microbenchmark")
+    micro.add_argument("name", choices=sorted(MICROBENCHMARKS))
+    micro.add_argument("--iterations", type=int, default=30)
+    add_stack_args(micro)
+
+    analyze = sub.add_parser(
+        "analyze", help="exit breakdown: why a workload is slow per config"
+    )
+    analyze.add_argument("name", choices=app_names())
+    analyze.add_argument("--scale", type=float, default=0.25)
+
+    app = sub.add_parser("app", help="one Table 2 application benchmark")
+    app.add_argument("name", choices=app_names())
+    app.add_argument("--scale", type=float, default=0.4)
+    app.add_argument(
+        "--report", action="store_true", help="print the exit/cycle report"
+    )
+    add_stack_args(app)
+
+    return parser
+
+
+def _stack_config(args) -> StackConfig:
+    io = args.io
+    if io is None:
+        if args.levels == 0:
+            io = "native"
+        elif DVH_PRESETS[args.dvh]().virtual_passthrough and args.levels >= 2:
+            io = "vp"
+        else:
+            io = "virtio"
+    return StackConfig(
+        levels=args.levels,
+        io_model=io,
+        dvh=DVH_PRESETS[args.dvh](),
+        guest_hv=args.guest_hv,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table3":
+        from repro.bench import format_table3, run_table3
+
+        print(format_table3(run_table3()))
+        return 0
+
+    if args.command == "figure":
+        from repro.bench import format_figure, run_figure
+
+        scales = None
+        if args.scale is not None:
+            scales = {lvl: args.scale for lvl in range(6)}
+        result = run_figure(args.number, apps=args.apps, scales=scales)
+        if args.chart:
+            from repro.bench.plot import ascii_figure
+
+            print(ascii_figure(result))
+        else:
+            print(format_figure(result))
+        return 0
+
+    if args.command == "migration":
+        from repro.bench import format_migration, run_migration_experiment
+
+        print(format_migration(run_migration_experiment()))
+        return 0
+
+    if args.command == "micro":
+        stack = build_stack(_stack_config(args))
+        cycles = run_microbenchmark(stack, args.name, args.iterations)
+        print(
+            f"{args.name} (levels={args.levels}, dvh={args.dvh}): "
+            f"{cycles:,.0f} cycles/op"
+        )
+        return 0
+
+    if args.command == "analyze":
+        from repro.bench.analysis import exit_breakdown, format_breakdown
+
+        rows = exit_breakdown(args.name, scale=args.scale)
+        print(format_breakdown(rows, app=args.name))
+        return 0
+
+    if args.command == "app":
+        stack = build_stack(_stack_config(args))
+        result = run_app(stack, args.name, scale=args.scale)
+        print(
+            f"{args.name} (levels={args.levels}, io={stack.config.io_model}, "
+            f"dvh={args.dvh}): {result.value:,.1f} {result.unit} "
+            f"over {result.txns} transactions in {result.elapsed_s * 1000:.2f} ms"
+        )
+        if args.report:
+            from repro.metrics.report import full_report
+
+            print()
+            print(full_report(stack.metrics, stack.machine.freq_hz))
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

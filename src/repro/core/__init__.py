@@ -1,0 +1,53 @@
+"""DVH — Direct Virtual Hardware (the paper's contribution).
+
+Four mechanisms (§3.1-3.4), their recursive forms (§3.5), and migration
+support (§3.6):
+
+* :mod:`repro.core.vpassthrough` — assign host-provided virtual I/O
+  devices to nested VMs;
+* :mod:`repro.core.vtimer` — host-emulated per-vCPU virtual LAPIC timers;
+* :mod:`repro.core.vipi` — virtual ICR + virtual CPU interrupt mapping
+  table;
+* :mod:`repro.core.vidle` — HLT handled by the host only;
+* :mod:`repro.core.migration` — live migration of VMs and nested VMs,
+  including the PCI migration capability for virtual-passthrough.
+
+Attribute access is lazy: the hypervisor layer imports
+:mod:`repro.core.features` while this package's submodules import the
+hypervisor layer, so eager re-exports here would create an import cycle.
+"""
+
+from repro.core.features import DvhFeatures
+
+_LAZY = {
+    "enable_virtual_idle": ("repro.core.vidle", "enable_virtual_idle"),
+    "update_virtual_idle_policy": ("repro.core.vidle", "update_virtual_idle_policy"),
+    "setup_virtual_ipis": ("repro.core.vipi", "setup_virtual_ipis"),
+    "VirtualPassthroughAssignment": (
+        "repro.core.vpassthrough",
+        "VirtualPassthroughAssignment",
+    ),
+    "assign_virtual_device": ("repro.core.vpassthrough", "assign_virtual_device"),
+    "populate_chain_epts": ("repro.core.vpassthrough", "populate_chain_epts"),
+    "enable_virtual_timers": ("repro.core.vtimer", "enable_virtual_timers"),
+    "restore_virtual_timer": ("repro.core.vtimer", "restore_virtual_timer"),
+    "save_virtual_timer": ("repro.core.vtimer", "save_virtual_timer"),
+    "LiveMigration": ("repro.core.migration", "LiveMigration"),
+    "VmCheckpoint": ("repro.core.suspend", "VmCheckpoint"),
+    "suspend_vm": ("repro.core.suspend", "suspend_vm"),
+    "resume_vm": ("repro.core.suspend", "resume_vm"),
+    "MigrationResult": ("repro.core.migration", "MigrationResult"),
+    "add_migration_capability": ("repro.core.migration", "add_migration_capability"),
+}
+
+__all__ = ["DvhFeatures"] + sorted(_LAZY)
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

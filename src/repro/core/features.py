@@ -1,0 +1,82 @@
+"""DVH feature flags and capability plumbing.
+
+The paper introduces four DVH mechanisms (§3.1-3.4) plus posted-interrupt
+support in the virtual IOMMU (evaluated as a separate increment in
+Figure 8).  A :class:`DvhFeatures` value selects which mechanisms the host
+hypervisor provides; guest hypervisors *discover* them through VMX
+capability bits and *enable* them through VM-execution-control bits
+(§3.2-3.3), which is what makes the recursive AND-combining of §3.5 work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DvhFeatures"]
+
+
+@dataclass(frozen=True)
+class DvhFeatures:
+    """Which DVH mechanisms the host hypervisor provides."""
+
+    #: §3.1: assign host-provided virtual I/O devices to nested VMs.
+    virtual_passthrough: bool = False
+    #: Figure 8 "+ posted interrupts": the virtual IOMMU supports posted
+    #: interrupts, so the host can deliver virtual-device interrupts
+    #: directly to nested VMs.
+    viommu_posted_interrupts: bool = False
+    #: §3.3: virtual ICR + virtual CPU interrupt mapping table.
+    virtual_ipi: bool = False
+    #: §3.2: per-vCPU virtual LAPIC timer emulated by the host.
+    virtual_timer: bool = False
+    #: §3.4: guest hypervisors stop trapping HLT; only the host does.
+    virtual_idle: bool = False
+    #: §3.2's further optimization: deliver virtual-timer interrupts to
+    #: the nested VM directly from the host using posted interrupts (the
+    #: host knows the vector the nested VM programmed).  Without it, the
+    #: expiry is delivered through the guest hypervisor like a regular
+    #: emulated timer's.
+    vtimer_direct_delivery: bool = True
+
+    # ------------------------------------------------------------------
+    # The configurations used throughout the paper's evaluation
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "DvhFeatures":
+        """Vanilla KVM (no DVH)."""
+        return cls()
+
+    @classmethod
+    def vp_only(cls) -> "DvhFeatures":
+        """DVH-VP: only virtual-passthrough, without posted-interrupt
+        support in the virtual IOMMU — the paper's conservative
+        comparison point against device passthrough (§4)."""
+        return cls(virtual_passthrough=True)
+
+    @classmethod
+    def full(cls) -> "DvhFeatures":
+        """All DVH mechanisms (the paper's "DVH" configuration)."""
+        return cls(
+            virtual_passthrough=True,
+            viommu_posted_interrupts=True,
+            virtual_ipi=True,
+            virtual_timer=True,
+            virtual_idle=True,
+            vtimer_direct_delivery=True,
+        )
+
+    def with_(self, **overrides: bool) -> "DvhFeatures":
+        """Copy with the given mechanisms toggled (Figure 8 increments)."""
+        return replace(self, **overrides)
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(
+            (
+                self.virtual_passthrough,
+                self.viommu_posted_interrupts,
+                self.virtual_ipi,
+                self.virtual_timer,
+                self.virtual_idle,
+            )
+        )

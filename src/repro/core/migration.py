@@ -1,0 +1,249 @@
+"""DVH migration (§3.6): live migration of VMs and nested VMs.
+
+Because DVH virtual hardware is software, the host hypervisor can fully
+encapsulate a VM's state — including a nested VM using
+virtual-passthrough — and migrate it.  Physical device passthrough, by
+contrast, couples the VM to hardware and blocks migration entirely (the
+key trade-off the paper's introduction describes).
+
+Two migration scopes:
+
+* **L1 VM** (with everything inside it, nested VMs included): from the
+  host hypervisor's perspective this is ordinary live migration — DVH
+  adds only a little extra virtual-hardware state (virtual timer value,
+  VCIMT address) to save and restore.
+* **Nested VM alone**: the guest hypervisor migrates its VM.  With
+  virtual-passthrough it cannot see the device state or the pages the
+  device DMAs into, so the paper defines a new **PCI migration
+  capability**: control registers through which the guest hypervisor
+  asks the host to capture device state to a given location and to log
+  DMA-dirtied pages — standard PCI capability plumbing, so any guest
+  hypervisor can interoperate with any host hypervisor.
+
+The pre-copy algorithm is the standard one the paper relies on: copy all
+pages, then iteratively re-copy dirtied pages until the remainder fits in
+the downtime budget, then stop-and-copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Set
+
+from repro.hw.mem import PAGE_SIZE, DirtyLog
+from repro.hw.pci import Capability, CapabilityId, PciDevice
+from repro.hw.vmx import VmcsField
+from repro.hv.passthrough import MigrationNotSupported
+
+__all__ = [
+    "MigrationResult",
+    "LiveMigration",
+    "add_migration_capability",
+    "capture_device_state",
+    "set_device_dirty_logging",
+    "MigrationNotSupported",
+]
+
+#: Memory-footprint divisor: the simulated transfer moves 1/512 of the
+#: configured VM memory (so a 12 GB nested VM transfers 24 MB of
+#: simulated state).  Migration *ratios* — the paper's reported result —
+#: are preserved; absolute times scale with this constant.
+FOOTPRINT_DIVISOR = 512
+#: Fixed switch-over cost (final handshake, resume on destination).
+SWITCHOVER_CYCLES = 2_000_000
+
+
+# ----------------------------------------------------------------------
+# The PCI migration capability (new in the paper)
+# ----------------------------------------------------------------------
+def add_migration_capability(device: PciDevice) -> Capability:
+    """Attach the paper's migration capability to a (virtual) device.
+
+    Registers: ``state_addr`` (where to capture device state),
+    ``dirty_log_addr`` (where to log DMA-dirtied pages), and ``ctrl``
+    (capture / log-enable commands).
+    """
+    cap = Capability(
+        CapabilityId.MIGRATION,
+        {"ctrl": 0, "state_addr": 0, "dirty_log_addr": 0},
+    )
+    device.add_capability(cap)
+    return cap
+
+
+def capture_device_state(device: PciDevice, backend) -> int:
+    """Guest hypervisor asks the host (via the capability) to capture the
+    virtual device's state; returns its size in bytes.  The state is the
+    host's own encapsulation format — the guest hypervisor "simply
+    transfers the device state to the destination and does not need to
+    interpret it" (§3.6)."""
+    cap = device.find_capability(CapabilityId.MIGRATION)
+    if cap is None:
+        raise MigrationNotSupported(
+            f"{device.name} has no migration capability"
+        )
+    cap.registers["ctrl"] |= 0x1  # capture command
+    # Ring indices, descriptor state, MSI config: a few KB.
+    queues = len(getattr(device, "queues", [])) or 1
+    return 2048 + 512 * queues
+
+
+def set_device_dirty_logging(device: PciDevice, backend, log: Optional[DirtyLog]) -> None:
+    """Enable/disable DMA dirty-page logging through the capability.
+    The host implements it with the logging it already does as part of
+    I/O interposition — no additional traps (§3.6)."""
+    cap = device.find_capability(CapabilityId.MIGRATION)
+    if cap is None:
+        raise MigrationNotSupported(
+            f"{device.name} has no migration capability"
+        )
+    cap.registers["ctrl"] = (cap.registers["ctrl"] | 0x2) if log else (
+        cap.registers["ctrl"] & ~0x2
+    )
+    backend.dirty_log = log
+
+
+# ----------------------------------------------------------------------
+# Live migration
+# ----------------------------------------------------------------------
+@dataclass
+class MigrationResult:
+    """Outcome of one live migration."""
+
+    vm_name: str
+    total_s: float
+    downtime_s: float
+    rounds: int
+    bytes_transferred: int
+    device_state_bytes: int
+    dvh_state_saved: bool
+
+
+class LiveMigration:
+    """Live pre-copy migration of one VM between identical hosts.
+
+    ``devices`` lists virtual devices whose state/dirty pages must come
+    from the host through the migration capability (virtual-passthrough
+    devices when migrating a nested VM alone).
+    """
+
+    def __init__(
+        self,
+        machine,
+        vm,
+        devices: Optional[List[PciDevice]] = None,
+        bandwidth_bps: Optional[float] = None,
+        downtime_target_s: float = 0.03,
+        max_rounds: int = 30,
+    ) -> None:
+        self.machine = machine
+        self.vm = vm
+        self.devices = devices or []
+        self.bandwidth_bps = (
+            bandwidth_bps if bandwidth_bps is not None else machine.costs.migration_bps
+        )
+        self.downtime_target_s = downtime_target_s
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+    def _transfer_cycles(self, nbytes: int) -> int:
+        sim = self.machine.sim
+        return max(1, sim.cycles(nbytes * 8 / self.bandwidth_bps))
+
+    def _footprint_pages(self) -> int:
+        base = self.vm.memory.size_bytes // FOOTPRINT_DIVISOR // PAGE_SIZE
+        return base + len(self.vm.memory.touched_pages)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        """The migration process (drive with ``sim.run_process`` or spawn
+        alongside a running workload).  Returns a MigrationResult."""
+        if getattr(self.vm, "hardware_coupled", False):
+            raise MigrationNotSupported(
+                f"{self.vm.name} uses physical device passthrough"
+            )
+        sim = self.machine.sim
+        start = sim.now
+        total_bytes = 0
+
+        # Hook up dirty logging: CPU writes via the VM's memory space,
+        # device DMA via the migration capability (virtual-passthrough)
+        # or the manager's own interposition (regular virtio).
+        cpu_log = DirtyLog(f"{self.vm.name}-cpu")
+        self.vm.memory.attach_dirty_log(cpu_log)
+        device_logs: List[DirtyLog] = []
+        backends = []
+        for device in self.devices:
+            backend = self.machine.host_hv.backends.get(device)
+            if backend is None:
+                continue
+            log = DirtyLog(f"{device.name}-dma")
+            set_device_dirty_logging(device, backend, log)
+            device_logs.append(log)
+            backends.append((device, backend))
+
+        # DVH virtual-hardware state to save (§3.6): the virtual timer
+        # value and the VCIMT address ride along with the VM state.
+        dvh_state_saved = False
+        for vcpu in self.vm.vcpus:
+            if vcpu.vmcs.controls.virtual_timer_enable:
+                vcpu.vmcs.write(
+                    VmcsField.VIRTUAL_TIMER_DEADLINE, vcpu.lapic.timer_deadline
+                )
+                dvh_state_saved = True
+            if vcpu.vmcs.read(VmcsField.VCIMTAR):
+                dvh_state_saved = True
+
+        # --- Round 0: full copy of the working footprint -------------
+        pages = self._footprint_pages()
+        nbytes = pages * PAGE_SIZE
+        total_bytes += nbytes
+        yield self._transfer_cycles(nbytes)
+        rounds = 1
+
+        # --- Iterative pre-copy --------------------------------------
+        # Pages drained for the convergence check but not re-copied yet
+        # must carry into stop-and-copy, or they'd be silently lost.
+        pending: Set[int] = set()
+        while rounds < self.max_rounds:
+            pending |= set(cpu_log.drain())
+            for log in device_logs:
+                pending |= log.drain()
+            nbytes = len(pending) * PAGE_SIZE
+            if nbytes * 8 / self.bandwidth_bps <= self.downtime_target_s:
+                break
+            total_bytes += nbytes
+            rounds += 1
+            pending = set()
+            yield self._transfer_cycles(nbytes)
+
+        # --- Stop and copy --------------------------------------------
+        for _device, backend in backends:
+            backend.pause()
+        downtime_start = sim.now
+        dirty = pending | set(cpu_log.drain())
+        for log in device_logs:
+            dirty |= log.drain()
+        nbytes = len(dirty) * PAGE_SIZE
+        device_state = 0
+        for device, backend in backends:
+            device_state += capture_device_state(device, backend)
+        total_bytes += nbytes + device_state
+        yield self._transfer_cycles(nbytes + device_state) + SWITCHOVER_CYCLES
+        downtime = sim.now - downtime_start
+
+        # --- Cleanup ---------------------------------------------------
+        self.vm.memory.detach_dirty_log(cpu_log)
+        for device, backend in backends:
+            set_device_dirty_logging(device, backend, None)
+            backend.resume()
+
+        return MigrationResult(
+            vm_name=self.vm.name,
+            total_s=sim.seconds(sim.now - start),
+            downtime_s=sim.seconds(downtime),
+            rounds=rounds,
+            bytes_transferred=total_bytes,
+            device_state_bytes=device_state,
+            dvh_state_saved=dvh_state_saved,
+        )

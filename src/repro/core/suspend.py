@@ -1,0 +1,130 @@
+"""Suspend/resume — an I/O-interposition benefit DVH preserves (§1).
+
+Device passthrough loses suspend/resume along with migration: the
+hypervisor cannot encapsulate state sitting in physical hardware.  With
+DVH all virtual hardware is software in the host hypervisor, so a VM —
+including a nested VM using virtual-passthrough — can be checkpointed
+and restored.
+
+The checkpoint captures, per vCPU: LAPIC state (pending vectors, armed
+timer deadline), the posted-interrupt descriptor, the vmcs12 fields
+(which include the DVH virtual-hardware registers: virtual-timer
+deadline, VCIMTAR); and per assigned virtual device: the ring indices
+and in-flight descriptors via the same host-side encapsulation the
+migration capability uses (§3.6).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.hv.passthrough import MigrationNotSupported
+from repro.hw.vmx import VmcsField
+
+__all__ = ["VmCheckpoint", "suspend_vm", "resume_vm"]
+
+
+@dataclass
+class VmCheckpoint:
+    """A suspended VM's state."""
+
+    vm_name: str
+    taken_at: int  # host TSC when suspended
+    #: per-vCPU: irr, isr, timer deadline/vector, PIR, vmcs fields.
+    vcpus: List[Dict[str, Any]] = field(default_factory=list)
+    #: device name -> (queue index -> ring snapshot)
+    devices: Dict[str, Dict[int, Dict[str, Any]]] = field(default_factory=dict)
+    #: number of memory pages the checkpoint references.
+    memory_pages: int = 0
+    #: timer deadlines are stored relative to suspend time so they can
+    #: be re-armed correctly after an arbitrarily long suspension.
+    dvh_state: Dict[str, Any] = field(default_factory=dict)
+
+
+def suspend_vm(machine, vm, devices: Optional[List] = None) -> VmCheckpoint:
+    """Capture a checkpoint of ``vm`` (refuses hardware-coupled VMs)."""
+    if getattr(vm, "hardware_coupled", False):
+        raise MigrationNotSupported(
+            f"{vm.name} uses physical device passthrough; its state cannot "
+            "be encapsulated"
+        )
+    now = machine.sim.now
+    checkpoint = VmCheckpoint(vm_name=vm.name, taken_at=now)
+    host_hv = machine.host_hv
+    for vcpu in vm.vcpus:
+        deadline = vcpu.lapic.timer_deadline
+        # Cancel the host-side hrtimer backing this vCPU's timer: a
+        # suspended VM must not receive interrupts; the deadline is
+        # saved relative and re-armed on resume.
+        host_hv._timer_tokens[vcpu] = host_hv._timer_tokens.get(vcpu, 0) + 1
+        checkpoint.vcpus.append(
+            {
+                "index": vcpu.index,
+                "irr": set(vcpu.lapic.irr),
+                "isr": list(vcpu.lapic.isr),
+                "timer_remaining": (
+                    None if deadline is None else max(0, deadline - vcpu.read_tsc())
+                ),
+                "timer_vector": vcpu.lapic.timer_vector,
+                "pir": set(vcpu.pi_desc.pir),
+                "vmcs_fields": dict(vcpu.vmcs.fields),
+                "controls": vcpu.vmcs.controls.copy(),
+            }
+        )
+    for device in devices or []:
+        queues = {}
+        for i, queue in enumerate(getattr(device, "queues", [])):
+            queues[i] = {
+                "avail_idx": queue.avail_idx,
+                "last_avail": queue.last_avail,
+                "used_idx": queue.used_idx,
+                "last_used": queue.last_used,
+                "in_flight": queue.avail_idx - queue.last_avail,
+            }
+        checkpoint.devices[device.name] = queues
+    checkpoint.memory_pages = len(vm.memory.touched_pages)
+    # DVH virtual-hardware state (§3.6's list: only virtual timers carry
+    # state; virtual IPIs and virtual idle are stateless).
+    checkpoint.dvh_state = {
+        "virtual_timer_enabled": any(
+            v.vmcs.controls.virtual_timer_enable for v in vm.vcpus
+        ),
+        "vcimtar": vm.vcimtar,
+    }
+    return checkpoint
+
+
+def resume_vm(machine, vm, checkpoint: VmCheckpoint) -> None:
+    """Restore ``vm`` from a checkpoint (on the same or an identical
+    host, like migration's destination)."""
+    if checkpoint.vm_name != vm.name:
+        raise ValueError(
+            f"checkpoint is for {checkpoint.vm_name}, not {vm.name}"
+        )
+    if len(checkpoint.vcpus) != len(vm.vcpus):
+        raise ValueError("vCPU count mismatch")
+    for state, vcpu in zip(checkpoint.vcpus, vm.vcpus):
+        vcpu.lapic.irr = set(state["irr"])
+        vcpu.lapic.isr = list(state["isr"])
+        vcpu.pi_desc.pir = set(state["pir"])
+        vcpu.vmcs.fields = dict(state["vmcs_fields"])
+        vcpu.vmcs.controls = state["controls"].copy()
+        remaining = state["timer_remaining"]
+        if remaining is not None:
+            # Re-arm relative to the (new) current time: a VM suspended
+            # 10ms before its timer fires still sees it 10ms after resume.
+            new_deadline = vcpu.read_tsc() + remaining
+            vcpu.lapic.arm_timer(new_deadline, state["timer_vector"])
+            vcpu.vmcs.write(VmcsField.VIRTUAL_TIMER_DEADLINE, new_deadline)
+            if vcpu.vmcs.controls.virtual_timer_enable:
+                machine.host_hv._arm_hrtimer(
+                    vcpu,
+                    new_deadline - vcpu.total_tsc_offset(),
+                    state["timer_vector"],
+                    provider_level=0,
+                )
+        else:
+            vcpu.lapic.disarm_timer()
+    vm.vcimtar = checkpoint.dvh_state.get("vcimtar")

@@ -1,0 +1,21 @@
+"""Hypervisor substrate: KVM/Xen, VMs, vCPUs, backends, stacks."""
+
+from repro.hv.kvm import KvmHypervisor
+from repro.hv.scheduler import NestedVmScheduler, SiblingLoad, attach_sibling
+from repro.hv.stack import MAX_LEVELS, Stack, StackConfig, build_stack
+from repro.hv.vm import VCpu, VirtualMachine
+from repro.hv.xen import XenHypervisor
+
+__all__ = [
+    "KvmHypervisor",
+    "NestedVmScheduler",
+    "SiblingLoad",
+    "attach_sibling",
+    "MAX_LEVELS",
+    "Stack",
+    "StackConfig",
+    "build_stack",
+    "VCpu",
+    "VirtualMachine",
+    "XenHypervisor",
+]

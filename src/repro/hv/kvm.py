@@ -1,0 +1,795 @@
+"""The KVM-like hypervisor: exit dispatch, forwarding, emulation, DVH.
+
+One class plays both roles of the paper's terminology:
+
+* the **host hypervisor** (level 0, ``L0``) owns the hardware, takes every
+  exit first (single-level architectural virtualization support, §2), and
+  either handles it directly or *forwards* it to the owning guest
+  hypervisor;
+* a **guest hypervisor** (level >= 1) runs inside a VM; its exit handlers
+  execute as guest code, so every privileged operation they perform traps
+  back to L0 (or, for deeper nesting, to an even longer chain).  This is
+  the mechanism — not a formula — that produces exit multiplication.
+
+The four DVH mechanisms short-circuit routing in :meth:`KvmHypervisor._route`:
+when the VM-execution controls of every intervening level carry the DVH
+enable bit (§3.5's AND rule), exits that would have been forwarded are
+handled by L0 directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.core.features import DvhFeatures
+from repro.hw.lapic import TIMER_VECTOR
+from repro.hw.ops import (
+    MSR_TSC_DEADLINE,
+    MSR_X2APIC_ICR,
+    Exit,
+    ExitReason,
+    Op,
+)
+from repro.hw.vmx import (
+    VCIMT_ENTRY_SIZE,
+    ExecControl,
+    Vmcs,
+    VmcsField,
+    VmxCapability,
+)
+from repro.hv.vm import VCpu, VirtualMachine
+
+__all__ = ["KvmHypervisor"]
+
+
+class KvmHypervisor:
+    """KVM at any virtualization level (level 0 = the host hypervisor)."""
+
+    #: Trapping (read, write) VMCS-access counts per handled exit reason.
+    #: These are the residual non-shadowed accesses KVM's handlers make
+    #: with VMCS shadowing enabled; Xen overrides with its own profile.
+    OP_COUNTS: Dict[ExitReason, Tuple[int, int]] = {
+        ExitReason.VMCALL: (8, 8),
+        ExitReason.CPUID: (7, 6),
+        ExitReason.MSR_READ: (7, 6),
+        ExitReason.MSR_WRITE: (7, 6),
+        ExitReason.VMX_INSTRUCTION: (9, 8),
+        ExitReason.MMIO: (11, 9),
+        ExitReason.EPT_VIOLATION: (8, 7),
+        ExitReason.IO_INSTRUCTION: (10, 9),
+        ExitReason.APIC_TIMER: (10, 8),
+        ExitReason.APIC_ICR: (9, 7),
+        ExitReason.HLT: (4, 3),
+        ExitReason.EXTERNAL_INTERRUPT: (3, 2),
+        ExitReason.PREEMPTION_TIMER: (3, 2),
+    }
+    #: Shadowed (non-trapping) VMCS accesses per handled exit.
+    SHADOWED_ACCESSES = 26
+    #: Trapped accesses on the wake path after an emulated HLT returns.
+    WAKE_OPS = (2, 1)
+
+    def __init__(
+        self,
+        machine,
+        level: int = 0,
+        vm: Optional[VirtualMachine] = None,
+        dvh: Optional[DvhFeatures] = None,
+        name: str = "",
+    ) -> None:
+        if (level == 0) != (vm is None):
+            raise ValueError("host hypervisor has no VM; guest hypervisors need one")
+        self.machine = machine
+        self.level = level
+        self.vm = vm
+        self.name = name or (f"kvm-L{level}" if level else "kvm-host")
+        #: DVH mechanisms this hypervisor *provides* to its guests.  Only
+        #: meaningful at L0 in the paper's design; guest hypervisors
+        #: re-expose what they discover (recursive DVH, §3.5).
+        self.dvh = dvh if dvh is not None else DvhFeatures.none()
+        #: What this hypervisor discovers about the platform it runs on
+        #: (set by the level below / the stack builder).
+        self.capability = VmxCapability()
+        self.guests: List[VirtualMachine] = []
+        #: Per-vCPU armed hrtimer tokens (cancellation on reprogram).
+        self._timer_tokens: Dict[VCpu, int] = {}
+        #: Virtio backends: device -> backend object (set by stack builder).
+        self.backends: Dict[Any, Any] = {}
+        #: §3.4 policy: number of *other* runnable nested VMs; virtual
+        #: idle is only engaged when this is zero.
+        self.other_runnable_guests = 0
+        #: Timer-emulation backend (§3.2 names both options): "hrtimer"
+        #: (Linux high-resolution timers — what the paper's KVM
+        #: implementation uses) or "preemption" (the VMX-Preemption
+        #: Timer: expiry arrives as a VM exit on the running vCPU).
+        self.timer_backend = "hrtimer"
+        #: Optional run queue over sibling nested VMs (§3.4 scheduling;
+        #: see repro.hv.scheduler).
+        self.scheduler = None
+
+    # ------------------------------------------------------------------
+    # Shortcuts
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        return self.machine.sim
+
+    @property
+    def costs(self):
+        return self.machine.costs
+
+    @property
+    def metrics(self):
+        return self.machine.metrics
+
+    def _hv_at(self, level: int) -> "KvmHypervisor":
+        return self.machine.hv_stack[level]
+
+    # ==================================================================
+    # VM lifecycle
+    # ==================================================================
+    def create_vm(self, name: str, memory_bytes: int) -> VirtualMachine:
+        """Create a VM one level above this hypervisor."""
+        vm = VirtualMachine(
+            name=name,
+            level=self.level + 1,
+            machine=self.machine,
+            manager=self,
+            memory_bytes=memory_bytes,
+        )
+        self.guests.append(vm)
+        return vm
+
+    # ==================================================================
+    # L0: exit dispatch
+    # ==================================================================
+    def dispatch_exit(self, vcpu: VCpu, exit_: Exit) -> Generator:
+        """Entry point for every hardware VM exit (L0 only, §2)."""
+        assert self.level == 0, "only the host hypervisor takes hardware exits"
+        c = self.costs
+        self.metrics.record_exit(vcpu.level, exit_.reason.value)
+        self.metrics.charge("hw_switch", c.hw_exit)
+        self.metrics.charge("l0_emul", c.l0_dispatch)
+        yield c.hw_exit + c.l0_dispatch
+        if vcpu.level >= 2 and self.dvh.any_enabled:
+            # L0 consults the DVH bits in the (merged) VM-execution
+            # controls before routing (§3.2-3.4).
+            self.metrics.charge("l0_emul", c.dvh_route_check)
+            yield c.dvh_route_check
+        owner = self._route(vcpu, exit_)
+        if owner == 0:
+            dvh_used = vcpu.level >= 2 and exit_.reason in (
+                ExitReason.APIC_TIMER,
+                ExitReason.APIC_ICR,
+                ExitReason.HLT,
+                ExitReason.MMIO,
+            )
+            result = yield from self._emulate(vcpu, exit_)
+            self.metrics.record_l0_handled(exit_.reason.value, dvh=dvh_used)
+            self.metrics.charge("hw_switch", c.hw_entry)
+            yield c.hw_entry
+            return result
+        self.metrics.record_forward(vcpu.level, exit_.reason.value, owner)
+        self.metrics.charge("l0_emul", c.forward_state_save)
+        yield c.forward_state_save
+        return (yield from self._deliver(vcpu, exit_, owner, via=1))
+
+    def _deliver(self, vcpu: VCpu, exit_: Exit, owner: int, via: int) -> Generator:
+        """Reflect an exit into the guest hypervisor at ``via``; recurse
+        one level at a time until the owner handles it (§2: "the L0
+        hypervisor ... will forward it to the L1 hypervisor, which will
+        forward it to the L2 hypervisor via the L0 hypervisor")."""
+        c = self.costs
+        self.metrics.charge("hw_switch", c.hw_entry)
+        yield c.hw_entry  # enter the via-level hypervisor's context
+        hv = self._hv_at(via)
+        ctx = vcpu.chain_vcpu(via)
+        if via == owner:
+            return (yield from hv.handle_guest_exit(ctx, exit_))
+        yield from hv.reinject_exit(ctx, exit_)
+        return (yield from self._deliver(vcpu, exit_, owner, via + 1))
+
+    # ------------------------------------------------------------------
+    # Routing: who owns this exit?
+    # ------------------------------------------------------------------
+    def _route(self, vcpu: VCpu, exit_: Exit) -> int:
+        """Return the level of the hypervisor that must handle the exit
+        (0 = L0 handles directly)."""
+        k = vcpu.level
+        if k == 1:
+            return 0
+        reason = exit_.reason
+        if reason is ExitReason.HLT:
+            # Virtual idle (§3.4): L0 handles the HLT only if *no*
+            # intervening hypervisor kept hlt-exiting set in its vmcs12;
+            # otherwise the innermost one that traps HLT owns it.
+            for m in range(k - 1, 0, -1):
+                if vcpu.chain_vcpu(m + 1).vmcs.controls.hlt_exiting:
+                    return m
+            return 0
+        if reason is ExitReason.APIC_TIMER:
+            return self._dvh_owner(vcpu, "virtual_timer_enable")
+        if reason is ExitReason.APIC_ICR:
+            if exit_.info.get("notify_only"):
+                # A guest hypervisor asking the CPU to send a
+                # posted-interrupt notification on its behalf (Figure 4
+                # step 4): its own manager emulates that.
+                return k - 1
+            return self._dvh_owner(vcpu, "virtual_ipi_enable")
+        if reason is ExitReason.MMIO:
+            device = exit_.info.get("device")
+            provider = getattr(device, "provider_level", None)
+            if provider is not None:
+                # Virtual-passthrough (§3.1): a device provided by L0 is
+                # emulated by L0 even when accessed from a nested VM.
+                return provider
+            return k - 1
+        if reason is ExitReason.EPT_VIOLATION:
+            return 0
+        # Hypercalls, VMX instructions, CPUID, MSRs: the VM's own manager.
+        return k - 1
+
+    def _dvh_owner(self, vcpu: VCpu, control_bit: str) -> int:
+        """§3.5 recursive-enable walk: DVH handles the exit at L0 only if
+        every intervening hypervisor set the enable bit for its guest
+        (the bits AND together).  Otherwise forwarding descends from the
+        innermost level: the first hypervisor (from the VM's own manager
+        downward) whose enable bit for its guest is clear must emulate —
+        with everything disabled that is the VM's manager, the normal
+        non-DVH owner."""
+        for m in range(vcpu.level, 1, -1):
+            if not getattr(vcpu.chain_vcpu(m).vmcs.controls, control_bit):
+                return m - 1
+        return 0
+
+    # ==================================================================
+    # L0: direct emulation
+    # ==================================================================
+    def _emulate(self, vcpu: VCpu, exit_: Exit) -> Generator:
+        reason = exit_.reason
+        c = self.costs
+        if reason is ExitReason.VMCALL:
+            self.metrics.charge("l0_emul", c.emul_hypercall)
+            yield c.emul_hypercall
+            return None
+        if reason in (ExitReason.CPUID, ExitReason.MSR_READ, ExitReason.MSR_WRITE):
+            self.metrics.charge("l0_emul", c.emul_trivial)
+            yield c.emul_trivial
+            return None
+        if reason is ExitReason.VMX_INSTRUCTION:
+            return (yield from self._emulate_vmx(vcpu, exit_))
+        if reason is ExitReason.APIC_TIMER:
+            return (yield from self._emulate_timer(vcpu, exit_))
+        if reason is ExitReason.APIC_ICR:
+            return (yield from self._emulate_ipi(vcpu, exit_))
+        if reason is ExitReason.HLT:
+            return (yield from self._emulate_hlt(vcpu, exit_))
+        if reason is ExitReason.MMIO:
+            return (yield from self._emulate_mmio(vcpu, exit_))
+        if reason is ExitReason.EPT_VIOLATION:
+            self.metrics.charge("l0_emul", c.ept_violation_fix)
+            yield c.ept_violation_fix
+            return None
+        self.metrics.charge("l0_emul", c.emul_trivial)
+        yield c.emul_trivial
+        return None
+
+    # ------------------------------------------------------------------
+    def _emulate_vmx(self, vcpu: VCpu, exit_: Exit) -> Generator:
+        """Emulate a VMX instruction executed by a guest hypervisor."""
+        c = self.costs
+        op = exit_.op
+        info = exit_.info
+        if op in (Op.VMREAD, Op.VMWRITE):
+            self.metrics.charge("l0_emul", c.emul_vmcs_access)
+            yield c.emul_vmcs_access
+            vmcs: Optional[Vmcs] = info.get("vmcs")
+            fieldname: Optional[VmcsField] = info.get("field")
+            if vmcs is not None and fieldname is not None:
+                if op is Op.VMWRITE:
+                    vmcs.write(fieldname, info.get("value"))
+                    return None
+                return vmcs.read(fieldname)
+            return None
+        if op is Op.VMPTRLD:
+            self.metrics.charge("l0_emul", c.emul_vmptrld)
+            yield c.emul_vmptrld
+            return None
+        if op in (Op.VMRESUME, Op.VMLAUNCH):
+            # The expensive part of nested virtualization: merge the guest
+            # hypervisor's vmcs12 into the VMCS L0 actually runs with.
+            self.metrics.charge("l0_emul", c.emul_vmresume_merge)
+            yield c.emul_vmresume_merge
+            target: Optional[VCpu] = info.get("target_vcpu")
+            if target is not None and target.level >= 2:
+                target.merged_vmcs.merge_from(target.vmcs, self._host_controls())
+                target.merged_vmcs.write(
+                    VmcsField.TSC_OFFSET, target.total_tsc_offset()
+                )
+                # Hardware syncs pending posted interrupts on VM entry.
+                target.pi_desc.sync_to(target.lapic)
+            return None
+        self.metrics.charge("l0_emul", c.emul_trivial)
+        yield c.emul_trivial
+        return None
+
+    def _host_controls(self) -> ExecControl:
+        ctl = ExecControl()
+        ctl.hlt_exiting = True
+        ctl.apicv = self.capability.apicv
+        ctl.posted_interrupts = self.capability.posted_interrupts
+        return ctl
+
+    # ------------------------------------------------------------------
+    def _emulate_timer(self, vcpu: VCpu, exit_: Exit) -> Generator:
+        """LAPIC TSC-deadline emulation; for nested vCPUs this is the DVH
+        virtual timer (§3.2), reached only when routing said so."""
+        c = self.costs
+        info = exit_.info
+        if vcpu.level >= 2:
+            # Virtual timer: combine the TSC offsets of every level
+            # (already folded into the merged VMCS by §3.2's rule).
+            walk = (vcpu.level - 1) * c.dvh_nested_emul
+            self.metrics.charge("dvh_emul", walk)
+            yield walk
+        self.metrics.charge("l0_emul", c.emul_timer_program)
+        yield c.emul_timer_program
+        if info.get("shadow_only"):
+            # A guest hypervisor programming its own hardware timer as
+            # part of emulating its guest's timer: the authoritative
+            # nested-timer record was registered by that hypervisor.
+            return None
+        deadline_guest = info["deadline"]
+        vector = info.get("vector", TIMER_VECTOR)
+        host_deadline = deadline_guest - vcpu.total_tsc_offset()
+        self._arm_hrtimer(vcpu, host_deadline, vector, provider_level=0)
+        return None
+
+    def _arm_hrtimer(
+        self, vcpu: VCpu, host_deadline: int, vector: int, provider_level: int
+    ) -> None:
+        """Arm (or re-arm) the per-vCPU hrtimer backing timer emulation."""
+        token = self._timer_tokens.get(vcpu, 0) + 1
+        self._timer_tokens[vcpu] = token
+        fire_at = max(self.sim.now, host_deadline - vcpu.pcpu.tsc_boot_offset)
+
+        def fire() -> None:
+            if self._timer_tokens.get(vcpu) != token:
+                return  # reprogrammed since: stale timer
+            self.sim.spawn(
+                self._timer_fire(vcpu, vector, provider_level),
+                f"timer-fire:{vcpu.name}",
+            )
+
+        self.sim.call_at(fire_at, fire)
+
+    def _timer_fire(self, vcpu: VCpu, vector: int, provider_level: int) -> Generator:
+        """Timer expiry: deliver the timer interrupt to the vCPU.
+
+        With DVH (provider 0) the host delivers directly using posted
+        interrupts (§3.2's optimization); otherwise the providing guest
+        hypervisor's injection sequence runs first — trapping all the
+        way down.
+        """
+        c = self.costs
+        if self.timer_backend == "preemption":
+            # VMX-Preemption Timer: expiry IS a VM exit on the running
+            # vCPU (no softirq), then the host injects on re-entry.
+            vcpu.pending_exit_work += c.l0_roundtrip(c.emul_trivial)
+            self.metrics.record_exit(vcpu.level, "preemption_timer")
+        else:
+            self.metrics.charge("l0_emul", c.hrtimer_fire)
+            yield c.hrtimer_fire
+        vcpu.lapic.fire_timer()  # latches the vector in the vCPU's IRR
+        if provider_level >= 1:
+            hv = self._hv_at(provider_level)
+            ctx = vcpu.chain_vcpu(provider_level)
+            yield from hv.inject_interrupt(ctx, vcpu, vector)
+            self.charge_injection(vcpu, "timer")
+            self.wake_target(vcpu)
+        elif vcpu.level >= 2 and not self.dvh.vtimer_direct_delivery:
+            # Virtual timer without the posted-interrupt optimization:
+            # expiry is handed to the guest hypervisor to inject, like a
+            # regular emulated timer's would be.
+            hv = self._hv_at(vcpu.level - 1)
+            ctx = vcpu.chain_vcpu(vcpu.level - 1)
+            yield from hv.inject_interrupt(ctx, vcpu, vector)
+            self.charge_injection(vcpu, "timer")
+            self.wake_target(vcpu)
+        else:
+            self.metrics.record_interrupt("timer", "posted")
+            self.deliver_posted(vcpu, vector)
+            self.wake_target(vcpu)
+
+    # ------------------------------------------------------------------
+    def _emulate_ipi(self, vcpu: VCpu, exit_: Exit) -> Generator:
+        """ICR-write emulation: normal for L1 vCPUs, DVH virtual IPI
+        (§3.3) for nested vCPUs."""
+        c = self.costs
+        info = exit_.info
+        if info.get("notify_only"):
+            # Figure 4 step 4/5: a (guest) hypervisor already updated the
+            # PI descriptor; send the physical notification.
+            target: VCpu = info["target"]
+            self.metrics.charge("l0_emul", c.emul_ipi_send + c.physical_ipi)
+            yield c.emul_ipi_send + c.physical_ipi
+            self.deliver_posted(target, info.get("vector", 0))
+            self.wake_target(target)
+            return None
+        dest_index = info["dest"]
+        vector = info["vector"]
+        if vcpu.level >= 2:
+            # Virtual IPI: find the destination through the virtual CPU
+            # interrupt mapping table the guest hypervisor registered
+            # (§3.3, Figure 5).  The emulation is a bit costlier than the
+            # L1 path: reading the table from guest memory and validating
+            # the virtual ICR state per level.
+            extra = c.vcimt_lookup + (vcpu.level - 1) * c.dvh_nested_emul
+            self.metrics.charge("dvh_emul", extra)
+            yield extra
+            dest = self._vcimt_lookup(vcpu, dest_index)
+        else:
+            dest = vcpu.vm.vcpus[dest_index]
+        self.metrics.charge("l0_emul", c.emul_ipi_send)
+        yield c.emul_ipi_send
+        self.metrics.charge("l0_emul", c.pi_descriptor_update + c.physical_ipi)
+        yield c.pi_descriptor_update
+        dest.pi_desc.post(vector)
+        yield c.physical_ipi
+        self.metrics.record_interrupt("ipi", "posted")
+        self.deliver_posted(dest, vector)
+        self.wake_target(dest)
+        return None
+
+    def _vcimt_lookup(self, vcpu: VCpu, dest_index: int) -> VCpu:
+        """Read the VCIMT entry for ``dest_index`` from the memory the
+        guest hypervisor registered via the VCIMTAR."""
+        vcimtar = vcpu.vmcs.read(VmcsField.VCIMTAR)
+        if not vcimtar:
+            raise RuntimeError(
+                f"virtual IPI enabled for {vcpu.name} but no VCIMT registered"
+            )
+        manager_vm = vcpu.vm.manager.vm  # the VM the guest hypervisor runs in
+        entry = manager_vm.memory.read(vcimtar + VCIMT_ENTRY_SIZE * dest_index)
+        if entry is None:
+            raise RuntimeError(f"VCIMT has no entry for vCPU {dest_index}")
+        return entry
+
+    # ------------------------------------------------------------------
+    def _emulate_hlt(self, vcpu: VCpu, exit_: Exit) -> Generator:
+        """Block the physical CPU until an interrupt arrives."""
+        c = self.costs
+        if vcpu.lapic.has_pending() or vcpu.pi_desc.has_pending:
+            # Interrupt already pending: don't block (the wait loop will
+            # pick it up on re-entry).
+            yield c.emul_trivial
+            return None
+        self.metrics.count("halts")
+        pcpu = vcpu.pcpu
+        pcpu.running_vcpu = None
+        ev = pcpu.block()
+        yield ev
+        pcpu.running_vcpu = vcpu
+        self.metrics.charge("l0_emul", c.halt_wake_sched)
+        yield c.halt_wake_sched
+        return None
+
+    # ------------------------------------------------------------------
+    def _emulate_mmio(self, vcpu: VCpu, exit_: Exit) -> Generator:
+        """Trapped MMIO: decode, then emulate the device access."""
+        c = self.costs
+        info = exit_.info
+        self.metrics.charge("l0_emul", c.emul_mmio_decode)
+        yield c.emul_mmio_decode
+        device = info.get("device")
+        if device is None:
+            yield c.emul_trivial
+            return None
+        if vcpu.level >= 2:
+            # Virtual-passthrough doorbell from a nested VM: L0 must walk
+            # the VM's EPT to check the faulting address before handling
+            # the access itself (§4's explanation of the DevNotify gap).
+            walk = c.vp_nested_ept_walk + (vcpu.level - 2) * c.ept_violation_fix
+            self.metrics.charge("dvh_emul", walk)
+            yield walk
+        self.metrics.charge("l0_emul", c.emul_virtio_kick)
+        yield c.emul_virtio_kick
+        device.mmio_write(info.get("addr", 0), info.get("value"))
+        return None
+
+    # ==================================================================
+    # L0: interrupt delivery plumbing
+    # ==================================================================
+    def deliver_posted(self, vcpu: VCpu, vector: int) -> None:
+        """Post ``vector`` to a vCPU (no exit if it is running)."""
+        vcpu.pi_desc.post(vector)
+        self.metrics.charge("l0_emul", self.costs.posted_interrupt_delivery)
+
+    def wake_target(self, vcpu: VCpu) -> bool:
+        """Wake the physical CPU a vCPU is pinned to if it is halted."""
+        return vcpu.pcpu.wake()
+
+    def injection_exit_cost(self, vcpu: VCpu) -> int:
+        """Estimated cycles the target vCPU's physical CPU spends when an
+        interrupt must be *injected* (not posted) into a nested VM: the
+        VM exits, the owning guest hypervisor's injection handler runs
+        (trapping along the way), and the VM is re-entered via an
+        emulated VMRESUME.  Recursively more expensive per level.
+        """
+        c = self.costs
+
+        def handler_op(j: int) -> int:
+            # One trapped op executed by the hypervisor at level j.
+            if j <= 1:
+                return c.l0_roundtrip(c.emul_vmcs_access)
+            return forwarded(j)
+
+        def forwarded(m: int) -> int:
+            # A full exit from level m handled by the hypervisor below.
+            if m <= 1:
+                return c.l0_roundtrip(c.emul_trivial)
+            reads, writes = self.OP_COUNTS[ExitReason.EXTERNAL_INTERRUPT]
+            base = c.hw_exit + c.l0_dispatch + c.forward_state_save + c.hw_entry
+            resume = (
+                c.l0_roundtrip(c.emul_vmresume_merge)
+                if m == 2
+                else forwarded(m - 1)
+            )
+            return (
+                base
+                + c.ghv_handler_sw
+                + (reads + writes) * handler_op(m - 1)
+                + resume
+            )
+
+        return forwarded(vcpu.level)
+
+    def charge_injection(self, vcpu: VCpu, kind: str) -> None:
+        """Record that ``vcpu`` will absorb a guest-hypervisor-mediated
+        interrupt injection at its next scheduling point.
+
+        A halted target is exempt: its wake path already unwinds through
+        the guest hypervisor's HLT handler, which performs the injection
+        as part of resuming the nested VM."""
+        if not vcpu.pcpu.halted:
+            vcpu.pending_exit_work += self.injection_exit_cost(vcpu)
+        self.metrics.record_interrupt(kind, "injected")
+
+    def deliver_l0_device_interrupt(self, vcpu: VCpu, vector: int) -> Generator:
+        """Deliver an interrupt from an L0-provided virtio device.
+
+        For an L1 vCPU (or a nested vCPU whose virtual IOMMU supports
+        posted interrupts — Figure 8's increment), APICv posts directly.
+        Otherwise the interrupt is remapped to the L1 hypervisor, whose
+        intervention costs the nested VM a forwarded exit.
+        """
+        c = self.costs
+        if vcpu.level == 1 or self.dvh.viommu_posted_interrupts:
+            self.metrics.record_interrupt("virtio", "posted")
+            self.deliver_posted(vcpu, vector)
+            yield c.posted_interrupt_delivery
+            self.wake_target(vcpu)
+            return None
+        vcpu.pi_desc.post(vector)
+        yield c.posted_interrupt_delivery
+        self.charge_injection(vcpu, "virtio")
+        self.wake_target(vcpu)
+        return None
+
+    # ==================================================================
+    # Guest hypervisor: exit handling (runs as guest code!)
+    # ==================================================================
+    def op_counts(self, reason: ExitReason) -> Tuple[int, int]:
+        reads, writes = self.OP_COUNTS.get(reason, (9, 8))
+        if not self.capability.vmcs_shadowing:
+            # Ablation: without shadowing, every access traps.
+            extra = self.costs.ghv_vmcs_unshadowed_total - (reads + writes)
+            reads += (extra + 1) // 2
+            writes += extra // 2
+        return reads, writes
+
+    def handle_guest_exit(self, ctx: VCpu, exit_: Exit) -> Generator:
+        """Handle an exit from this hypervisor's own guest.
+
+        ``ctx`` is the vCPU of the VM this hypervisor runs in: all
+        privileged operations below trap to L0 (and further, if ``ctx``
+        is itself nested) — the paper's exit multiplication.
+        """
+        assert self.level >= 1, "L0 handles exits in _emulate, not here"
+        c = self.costs
+        guest_vmcs = exit_.vcpu.chain_vcpu(self.level + 1).vmcs
+        reads, writes = self.op_counts(exit_.reason)
+        # Exit-information reads: shadowed (free) + residual trapping ones.
+        yield from ctx.execute(
+            Op.VMREAD,
+            count=self.SHADOWED_ACCESSES,
+            vmcs=guest_vmcs,
+            field=VmcsField.EXIT_REASON,
+        )
+        yield from ctx.execute(
+            Op.VMREAD, count=reads, vmcs=guest_vmcs, field=VmcsField.PROC_CONTROLS
+        )
+        self.metrics.charge("ghv_handler", c.ghv_handler_sw)
+        yield from ctx.compute(c.ghv_handler_sw)
+        result = yield from self._handle_reason_as_guest(ctx, exit_, guest_vmcs)
+        yield from ctx.execute(
+            Op.VMWRITE,
+            count=writes,
+            vmcs=guest_vmcs,
+            field=VmcsField.PROC_CONTROLS,
+            value=0,
+        )
+        yield from ctx.execute(
+            Op.VMRESUME, target_vcpu=exit_.vcpu, vmcs=guest_vmcs
+        )
+        return result
+
+    def reinject_exit(self, ctx: VCpu, exit_: Exit) -> Generator:
+        """Pass an exit owned by a deeper hypervisor one level up (§2)."""
+        c = self.costs
+        guest_vmcs = exit_.vcpu.chain_vcpu(self.level + 1).vmcs
+        self.metrics.charge("ghv_handler", c.ghv_reinject_sw)
+        yield from ctx.compute(c.ghv_reinject_sw)
+        yield from ctx.execute(
+            Op.VMWRITE,
+            count=c.ghv_reinject_trapped,
+            vmcs=guest_vmcs,
+            field=VmcsField.ENTRY_INTR_INFO,
+            value=exit_.reason.value,
+        )
+        yield from ctx.execute(Op.VMRESUME, target_vcpu=exit_.vcpu, vmcs=guest_vmcs)
+
+    # ------------------------------------------------------------------
+    def _handle_reason_as_guest(
+        self, ctx: VCpu, exit_: Exit, guest_vmcs: Vmcs
+    ) -> Generator:
+        """Reason-specific emulation a guest hypervisor performs."""
+        c = self.costs
+        reason = exit_.reason
+        info = exit_.info
+        if reason is ExitReason.APIC_TIMER:
+            # Emulate the nested VM's timer with this hypervisor's own
+            # (which itself traps when programmed — recursion).
+            deadline_for_me = info["deadline"] - exit_.vcpu.vmcs.read(
+                VmcsField.TSC_OFFSET
+            )
+            if not info.get("shadow_only"):
+                host_deadline = deadline_for_me - ctx.total_tsc_offset()
+                self._hv_at(0)._arm_hrtimer(
+                    exit_.vcpu,
+                    host_deadline,
+                    info.get("vector", TIMER_VECTOR),
+                    provider_level=self.level,
+                )
+            yield from ctx.execute(
+                Op.WRMSR,
+                msr=MSR_TSC_DEADLINE,
+                deadline=deadline_for_me,
+                vector=TIMER_VECTOR,
+                shadow_only=True,
+            )
+            return None
+        if reason is ExitReason.APIC_ICR:
+            if info.get("notify_only"):
+                # Forwarding a notification request from a deeper
+                # hypervisor: send it on its behalf.
+                yield from ctx.execute(
+                    Op.WRMSR,
+                    msr=MSR_X2APIC_ICR,
+                    notify_only=True,
+                    target=info["target"],
+                    vector=info.get("vector", 0),
+                )
+                return None
+            dest = exit_.vcpu.vm.vcpus[info["dest"]]
+            yield from self.inject_interrupt(ctx, dest, info["vector"])
+            self._hv_at(0).wake_target(dest)
+            return None
+        if reason is ExitReason.HLT:
+            yield from ctx.compute(300)  # run-queue check
+            # §3.4: with another runnable nested VM, schedule it on this
+            # physical CPU instead of idling.
+            idle_vcpu = exit_.vcpu
+            scheduler = self.scheduler
+            if scheduler is not None:
+                while scheduler.has_runnable_sibling and not (
+                    idle_vcpu.lapic.has_pending() or idle_vcpu.pi_desc.has_pending
+                ):
+                    yield from scheduler.run_sibling_quantum(ctx, idle_vcpu)
+            if not (idle_vcpu.lapic.has_pending() or idle_vcpu.pi_desc.has_pending):
+                # Nothing else to run: idle this hypervisor itself
+                # (multi-level low-power entry).
+                yield from ctx.execute(Op.HLT)
+            # Woken: sync pending state into the nested VM and resume it
+            # (costs fall out of the trapped ops + the VMRESUME tail).
+            wr, ww = self.WAKE_OPS
+            yield from ctx.execute(
+                Op.VMREAD, count=wr, vmcs=guest_vmcs, field=VmcsField.PIN_CONTROLS
+            )
+            yield from ctx.execute(
+                Op.VMWRITE,
+                count=ww,
+                vmcs=guest_vmcs,
+                field=VmcsField.ENTRY_INTR_INFO,
+                value=0,
+            )
+            return None
+        if reason is ExitReason.MMIO:
+            device = info.get("device")
+            backend = self.backends.get(device)
+            self.metrics.charge("ghv_handler", c.emul_mmio_decode)
+            yield from ctx.compute(c.emul_mmio_decode)
+            if device is not None:
+                device.mmio_write(info.get("addr", 0), info.get("value"))
+            if backend is not None:
+                yield from backend.notify_from_guest(ctx)
+            return None
+        if reason is ExitReason.VMX_INSTRUCTION:
+            # Emulate a VMX instruction for a nested hypervisor: touch the
+            # deeper vmcs in guest memory, then the tail VMRESUME re-runs
+            # the nested guest.
+            op = exit_.op
+            vmcs: Optional[Vmcs] = info.get("vmcs")
+            fieldname: Optional[VmcsField] = info.get("field")
+            yield from ctx.compute(c.emul_vmcs_access)
+            if op is Op.VMWRITE and vmcs is not None and fieldname is not None:
+                vmcs.write(fieldname, info.get("value"))
+                return None
+            if op is Op.VMREAD and vmcs is not None and fieldname is not None:
+                return vmcs.read(fieldname)
+            if op in (Op.VMRESUME, Op.VMLAUNCH):
+                target: Optional[VCpu] = info.get("target_vcpu")
+                if target is not None:
+                    yield from ctx.compute(c.emul_vmresume_merge // 4)
+                return None
+            return None
+        if reason is ExitReason.VMCALL:
+            yield from ctx.compute(c.emul_hypercall)
+            return None
+        # CPUID / MSR / IO / EPT...
+        yield from ctx.compute(c.emul_trivial)
+        return None
+
+    # ------------------------------------------------------------------
+    def inject_interrupt(self, ctx: VCpu, target: VCpu, vector: int) -> Generator:
+        """This guest hypervisor injects an interrupt into its (possibly
+        nested) guest using posted interrupts: update the PI descriptor,
+        then ask the physical CPU to send the notification — which traps
+        (Figure 4 steps 3-5)."""
+        c = self.costs
+        self.metrics.charge("ghv_handler", c.ghv_inject_sw)
+        yield from ctx.compute(c.ghv_inject_sw)
+        yield c.pi_descriptor_update
+        target.pi_desc.post(vector)
+        yield from ctx.execute(
+            Op.WRMSR,
+            msr=MSR_X2APIC_ICR,
+            notify_only=True,
+            target=target,
+            vector=vector,
+        )
+        return None
+
+    @property
+    def dvh_virtual_idle_available(self) -> bool:
+        """Whether the platform (ultimately L0) provides virtual idle."""
+        host = self.machine.host_hv
+        return host is not None and host.dvh.virtual_idle
+
+    # ==================================================================
+    # Configuration helpers (used by the stack builder and DVH setup)
+    # ==================================================================
+    def expose_capability_to(self, guest_hv: "KvmHypervisor") -> None:
+        """Set what a hypervisor running in our guest VM can discover.
+
+        DVH bits appear as *hardware* capabilities even though L0
+        implements them in software (§3: "virtual hardware appears to
+        intervening layers of hypervisors as additional hardware
+        capabilities")."""
+        cap = self.capability.copy()
+        if self.level == 0:
+            cap.virtual_timer = self.dvh.virtual_timer
+            cap.virtual_ipi = self.dvh.virtual_ipi
+        guest_hv.capability = cap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

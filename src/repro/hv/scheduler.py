@@ -1,0 +1,143 @@
+"""Guest-hypervisor scheduling of sibling nested VMs (§3.4's policy).
+
+The paper's virtual-idle section ends with a scheduling argument: a
+guest hypervisor should only let the host handle its nested VM's HLT
+when it has nothing else to run — "when there are other nested VMs that
+can be run by the guest hypervisor, it is useful to return to the guest
+hypervisor to allow it to schedule another nested VM to execute.
+Otherwise, the host hypervisor will schedule the CPU to run other VMs
+that it knows about and may not include any other nested VMs managed by
+the respective guest hypervisor."
+
+This module makes that trade-off executable: a :class:`SiblingLoad`
+models a second, compute-hungry nested VM sharing the guest hypervisor,
+and :class:`NestedVmScheduler` runs its quanta whenever the primary
+nested VM idles *into the guest hypervisor*.  If virtual idle is
+(wrongly) engaged while the sibling is runnable, the HLT bypasses the
+guest hypervisor and the sibling starves — exactly the failure mode the
+paper's policy avoids.
+
+Switching between nested VMs uses the §3.2 virtual-timer save/restore
+protocol: the guest hypervisor reads the outgoing VM's virtual timer and
+restores the incoming VM's.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.vtimer import restore_virtual_timer, save_virtual_timer
+from repro.hw.ops import Op
+from repro.hw.vmx import VmcsField
+
+__all__ = ["SiblingLoad", "NestedVmScheduler", "attach_sibling"]
+
+#: Cycles of sibling work run per scheduling opportunity.
+DEFAULT_QUANTUM = 50_000
+
+
+class SiblingLoad:
+    """A second nested VM with pending compute work.
+
+    Tracked in the abstract: the scheduler runs its quanta on the shared
+    physical CPU whenever the primary nested VM yields through the guest
+    hypervisor.  ``progress`` counts cycles of sibling work completed —
+    the starvation metric.
+    """
+
+    def __init__(self, vm, total_work: int = 10_000_000) -> None:
+        self.vm = vm
+        self.total_work = total_work
+        self.progress = 0
+
+    @property
+    def runnable(self) -> bool:
+        return self.progress < self.total_work
+
+    @property
+    def done(self) -> bool:
+        return not self.runnable
+
+    def take_quantum(self, quantum: int) -> int:
+        work = min(quantum, self.total_work - self.progress)
+        self.progress += work
+        return work
+
+
+class NestedVmScheduler:
+    """The guest hypervisor's run queue over its nested VMs."""
+
+    def __init__(self, hv, quantum: int = DEFAULT_QUANTUM) -> None:
+        self.hv = hv
+        self.quantum = quantum
+        self.sibling: Optional[SiblingLoad] = None
+        #: Number of nested-VM context switches performed.
+        self.switches = 0
+
+    def attach(self, sibling: SiblingLoad) -> None:
+        self.sibling = sibling
+        self.hv.other_runnable_guests = 1 if sibling.runnable else 0
+
+    @property
+    def has_runnable_sibling(self) -> bool:
+        return self.sibling is not None and self.sibling.runnable
+
+    # ------------------------------------------------------------------
+    def run_sibling_quantum(self, ctx, idle_vcpu) -> Generator:
+        """Called from the guest hypervisor's HLT handler: switch to the
+        sibling nested VM, run one quantum, switch back.
+
+        ``ctx`` is the guest hypervisor's execution context (its own
+        vCPU), ``idle_vcpu`` the nested vCPU that just went idle.  The
+        switch performs the §3.2 virtual-timer save/restore and an
+        (emulated) VMRESUME of the sibling — all of which trap, so the
+        cost is configuration-dependent like everything else.
+        """
+        sibling = self.sibling
+        if sibling is None or not sibling.runnable:
+            return None
+        costs = self.hv.costs
+        self.switches += 1
+        # Save the idle VM's virtual-hardware state (§3.2).
+        save_virtual_timer(idle_vcpu)
+        yield from ctx.execute(
+            Op.VMWRITE,
+            vmcs=idle_vcpu.vmcs,
+            field=VmcsField.GUEST_ACTIVITY_STATE,
+            value="halted",
+        )
+        # Enter the sibling (emulated nested entry, expensive) and run
+        # its quantum on this physical CPU.
+        yield from ctx.execute(Op.VMRESUME, target_vcpu=None, vmcs=None)
+        work = sibling.take_quantum(self.quantum)
+        self.hv.metrics.charge("sibling_work", work)
+        yield work
+        if not sibling.runnable:
+            # Sibling finished: re-evaluate the §3.4 policy so virtual
+            # idle can engage from now on.
+            self.hv.other_runnable_guests = 0
+            from repro.core.vidle import update_virtual_idle_policy
+
+            if self.hv.dvh_virtual_idle_available:
+                update_virtual_idle_policy(self.hv, idle_vcpu.vm)
+        # Switch back toward the idle VM's state (restore on next resume).
+        restore_virtual_timer(idle_vcpu)
+        return None
+
+
+def attach_sibling(stack, hv_level: int = 1, total_work: int = 10_000_000,
+                   quantum: int = DEFAULT_QUANTUM) -> SiblingLoad:
+    """Give the guest hypervisor at ``hv_level`` a second runnable nested
+    VM and re-evaluate the virtual-idle policy (§3.4)."""
+    hv = stack.hvs[hv_level]
+    sibling_vm = hv.create_vm(f"L{hv_level + 1}-sibling", memory_bytes=1 << 30)
+    load = SiblingLoad(sibling_vm, total_work=total_work)
+    scheduler = NestedVmScheduler(hv, quantum=quantum)
+    scheduler.attach(load)
+    hv.scheduler = scheduler
+    # The policy: with a runnable sibling, keep trapping HLT.
+    from repro.core.vidle import update_virtual_idle_policy
+
+    primary_vm = hv.guests[0]
+    update_virtual_idle_policy(hv, primary_vm)
+    return load

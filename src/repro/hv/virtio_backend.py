@@ -1,0 +1,556 @@
+"""Virtio drivers and backends: the I/O datapaths of every configuration.
+
+The paper's Figure 2 I/O models map onto these classes:
+
+* **Virtual I/O (Figure 2a)** — a cascade: the leaf guest's
+  :class:`VirtioDriver` kicks its device, whose :class:`GuestVhost`
+  backend (in the guest hypervisor) relays through *its own*
+  :class:`VirtioDriver` one level down, ending at the host's
+  :class:`HostVhost`, which talks to the physical NIC.  Every backend
+  level costs forwarded exits.
+* **Passthrough (Figure 2b)** — :class:`VfNicDriver` drives an SR-IOV VF
+  directly: doorbells don't trap, DMA goes through the physical IOMMU,
+  interrupts are posted by VT-d.
+* **Virtual-passthrough (Figure 2c)** — the leaf guest's
+  :class:`VirtioDriver` is bound to a device *provided by L0*, so kicks
+  exit straight to L0's :class:`HostVhost` and the guest hypervisors
+  never intervene.
+
+All network drivers support multiqueue (one RX/TX pair per worker, RSS
+steering via :attr:`Packet.queue_hint`), matching the multi-worker
+application benchmarks.  The native baseline uses
+:class:`NativeNicDriver`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.hw.devices.nic import Packet, PhysicalNic, VirtualFunction
+from repro.hw.devices.virtio import VirtioDevice
+from repro.hw.lapic import VIRTIO_VECTOR_BASE
+from repro.hw.mem import PAGE_SIZE, DirtyLog
+from repro.hw.ops import Op
+
+__all__ = [
+    "VirtioDriver",
+    "NativeNicDriver",
+    "VfNicDriver",
+    "HostVhost",
+    "GuestVhost",
+    "KICK_VECTOR",
+    "RX_POOL_BASE",
+    "TX_POOL_BASE",
+]
+
+#: Vector a backend vCPU receives when its guest kicks (ioeventfd wake).
+KICK_VECTOR = 0x30
+#: Base guest addresses of driver buffer pools (per-queue strides).
+RX_POOL_BASE = 0x4000_0000
+TX_POOL_BASE = 0x6000_0000
+QUEUE_POOL_STRIDE = 0x0800_0000
+#: ioeventfd signalling cost (host-side wake of a vhost worker).
+IOEVENTFD_SIGNAL = 450
+#: Buffers posted per RX queue.
+RX_BUFFERS = 128
+
+
+class VirtioDriver:
+    """Guest-side virtio-net driver (any level, multiqueue)."""
+
+    def __init__(
+        self,
+        ctx,
+        device: VirtioDevice,
+        buf_size: int = 65536,
+    ) -> None:
+        self.ctx = ctx  # default context (queue 0 owner)
+        self.device = device
+        self.buf_size = buf_size
+        device.bound_driver = self
+        #: Per queue pair: (context, vector) receiving its interrupts.
+        self._queue_dest: Dict[int, Tuple[Any, int]] = {}
+        self._tx_seq: Dict[int, int] = {}
+        for pair in range(device.num_queue_pairs):
+            self.bind_queue(pair, ctx, VIRTIO_VECTOR_BASE + pair)
+            for i in range(min(RX_BUFFERS, device.rx_q(pair).size // 2)):
+                device.rx_q(pair).add_buffer(
+                    self._rx_addr(pair, i), buf_size
+                )
+
+    # ------------------------------------------------------------------
+    def _rx_addr(self, pair: int, slot: int) -> int:
+        return RX_POOL_BASE + pair * QUEUE_POOL_STRIDE + slot * self.buf_size
+
+    def _tx_addr(self, pair: int, slot: int) -> int:
+        return TX_POOL_BASE + pair * QUEUE_POOL_STRIDE + slot * self.buf_size
+
+    def bind_queue(self, pair: int, ctx, vector: int) -> None:
+        """Route queue ``pair``'s interrupts to ``ctx`` (RSS/irq affinity)."""
+        self._queue_dest[pair] = (ctx, vector)
+        self.device.msi_vectors[pair] = vector
+
+    def queue_dest(self, pair: int) -> Tuple[Any, int]:
+        return self._queue_dest[pair]
+
+    # Compatibility accessors for single-queue users (blk-style).
+    @property
+    def irq_dest(self):
+        return self._queue_dest[0][0]
+
+    @irq_dest.setter
+    def irq_dest(self, ctx) -> None:
+        for pair in list(self._queue_dest):
+            self._queue_dest[pair] = (ctx, self._queue_dest[pair][1])
+
+    @property
+    def rx_vector(self) -> int:
+        return self._queue_dest[0][1]
+
+    @property
+    def costs(self):
+        return self.ctx.machine.costs
+
+    # ------------------------------------------------------------------
+    # TX
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        size: int,
+        payload: Any = None,
+        kick: bool = True,
+        queue: int = 0,
+        ctx=None,
+    ) -> Generator:
+        """Queue one message on TX queue ``queue`` and optionally kick.
+        ``ctx`` overrides the executing context (a worker sending on its
+        own queue)."""
+        ctx = ctx if ctx is not None else self._queue_dest[queue][0]
+        c = self.costs
+        yield from ctx.compute(
+            int(c.driver_per_packet + c.guest_per_byte * min(size, 16384))
+        )
+        # Opportunistically reclaim completed TX descriptors (drivers do
+        # this on the send path to avoid TX-completion interrupts).
+        self.device.tx_q(queue).reap_used()
+        seq = self._tx_seq.get(queue, 0)
+        self._tx_seq[queue] = seq + 1
+        addr = self._tx_addr(queue, seq % 128)
+        ctx.mem_write(addr, min(size, self.buf_size))
+        self.device.tx_q(queue).add_buffer(addr, size, payload=payload)
+        yield c.ring_access
+        if kick:
+            yield from self.kick(queue, ctx=ctx)
+
+    def kick(self, queue: int = 0, ctx=None) -> Generator:
+        ctx = ctx if ctx is not None else self._queue_dest[queue][0]
+        yield from ctx.execute(
+            Op.MMIO_WRITE,
+            addr=self.device.notify_addr,
+            value=2 * queue + 1,  # tx queue index in the flat layout
+            device=self.device,
+        )
+
+    # ------------------------------------------------------------------
+    # RX
+    # ------------------------------------------------------------------
+    def poll_rx(self, queue: int = 0, ctx=None) -> Generator:
+        """Reap received messages from queue ``queue``; repost buffers.
+        Returns ``[(size, payload), ...]``."""
+        ctx = ctx if ctx is not None else self._queue_dest[queue][0]
+        c = self.costs
+        rxq = self.device.rx_q(queue)
+        out: List[Tuple[int, Any]] = []
+        total = 0
+        for _desc, written, payload in rxq.reap_used():
+            out.append((written, payload))
+            total += written
+        for _ in out:
+            rxq.add_buffer(self._rx_addr(queue, rxq.avail_idx % RX_BUFFERS), self.buf_size)
+        if out:
+            yield from ctx.compute(
+                int(len(out) * c.driver_per_packet + c.guest_per_byte * min(total, 65536))
+            )
+        return out
+
+    def poll_all(self, ctx=None) -> Generator:
+        """Poll every queue (single-threaded backend helper)."""
+        out: List[Tuple[int, Any]] = []
+        for pair in range(self.device.num_queue_pairs):
+            got = yield from self.poll_rx(pair, ctx=ctx)
+            out.extend(got)
+        return out
+
+
+class NativeNicDriver:
+    """Bare-metal NIC driver for the native baseline (multiqueue)."""
+
+    def __init__(self, ctx, nic: PhysicalNic, flow: str) -> None:
+        self.ctx = ctx
+        self.nic = nic
+        self.flow = flow
+        self._queue_dest: Dict[int, Tuple[Any, int]] = {0: (ctx, VIRTIO_VECTOR_BASE)}
+        self._rx: Dict[int, List[Packet]] = {0: []}
+        nic.register_flow(flow, self._on_rx)
+
+    @property
+    def costs(self):
+        return self.ctx.machine.costs
+
+    def bind_queue(self, pair: int, ctx, vector: int) -> None:
+        self._queue_dest[pair] = (ctx, vector)
+        self._rx.setdefault(pair, [])
+
+    def queue_dest(self, pair: int):
+        return self._queue_dest[pair]
+
+    def _on_rx(self, packet: Packet) -> None:
+        q = packet.queue_hint if packet.queue_hint in self._queue_dest else 0
+        self._rx[q].append(packet)
+        ctx, vector = self._queue_dest[q]
+        self.ctx.machine.deliver_native_interrupt(ctx.cpu.idx, vector)
+
+    def send(self, size: int, payload: Any = None, kick: bool = True,
+             queue: int = 0, ctx=None) -> Generator:
+        ctx = ctx if ctx is not None else self._queue_dest[queue][0]
+        c = self.costs
+        yield from ctx.compute(
+            int(c.driver_per_packet + c.guest_per_byte * min(size, 16384))
+        )
+        machine = self.ctx.machine
+        self.nic.tx(Packet(self.flow, size, payload=payload), machine.client.receive)
+
+    def poll_rx(self, queue: int = 0, ctx=None) -> Generator:
+        ctx = ctx if ctx is not None else self._queue_dest[queue][0]
+        c = self.costs
+        packets = self._rx[queue]
+        out = [(p.size, p.payload) for p in packets]
+        total = sum(p.size for p in packets)
+        packets.clear()
+        if out:
+            yield from ctx.compute(
+                int(len(out) * c.driver_per_packet + c.guest_per_byte * min(total, 65536))
+            )
+        return out
+
+
+class VfNicDriver:
+    """Driver for a passed-through SR-IOV virtual function (Figure 2b)."""
+
+    def __init__(
+        self,
+        ctx,
+        vf: VirtualFunction,
+        flow: str,
+        buf_size: int = 65536,
+    ) -> None:
+        self.ctx = ctx
+        self.vf = vf
+        self.flow = flow
+        self.buf_size = buf_size
+        self._queue_dest: Dict[int, Tuple[Any, int]] = {0: (ctx, VIRTIO_VECTOR_BASE)}
+        self._rx: Dict[int, List[Packet]] = {0: []}
+        self._rx_slot = 0
+        vf.bound_driver = self
+        vf.pf.register_flow(flow, self._on_rx)
+
+    @property
+    def machine(self):
+        return self.ctx.machine
+
+    @property
+    def costs(self):
+        return self.machine.costs
+
+    def bind_queue(self, pair: int, ctx, vector: int) -> None:
+        self._queue_dest[pair] = (ctx, vector)
+        self._rx.setdefault(pair, [])
+
+    def queue_dest(self, pair: int):
+        return self._queue_dest[pair]
+
+    def _on_rx(self, packet: Packet) -> None:
+        """VF hardware RX: IOMMU-translated DMA + VT-d posted interrupt."""
+        machine = self.machine
+        q = packet.queue_hint if packet.queue_hint in self._queue_dest else 0
+        iova = RX_POOL_BASE + (self._rx_slot % RX_BUFFERS) * self.buf_size
+        self._rx_slot += 1
+        host_addr = machine.iommu.translate(self.vf, iova, write=True)
+        machine.memory.write_range(host_addr, min(packet.size, self.buf_size))
+        self._rx[q].append(packet)
+        ctx, vector = self._queue_dest[q]
+        ctx.mem_write(iova, min(packet.size, self.buf_size))
+        ctx.pi_desc.post(vector)
+        machine.metrics.record_interrupt("vf", "posted")
+        ctx.pcpu.wake()
+
+    def send(self, size: int, payload: Any = None, kick: bool = True,
+             queue: int = 0, ctx=None) -> Generator:
+        ctx = ctx if ctx is not None else self._queue_dest[queue][0]
+        c = self.costs
+        yield from ctx.compute(
+            int(c.driver_per_packet + c.guest_per_byte * min(size, 16384))
+        )
+        # Doorbell: the BAR is mapped through, so this does not trap.
+        yield from ctx.execute(
+            Op.MMIO_WRITE, addr=self._doorbell_addr(), value=0, device=self.vf
+        )
+        machine = self.machine
+        machine.iommu.translate(self.vf, TX_POOL_BASE, write=False)  # DMA read
+        self.vf.pf.tx(Packet(self.flow, size, payload=payload), machine.client.receive)
+
+    def _doorbell_addr(self) -> int:
+        base = self.vf.bars[0].base
+        return (base if base is not None else 0) + 0x100
+
+    def poll_rx(self, queue: int = 0, ctx=None) -> Generator:
+        ctx = ctx if ctx is not None else self._queue_dest[queue][0]
+        c = self.costs
+        packets = self._rx[queue]
+        out = [(p.size, p.payload) for p in packets]
+        total = sum(p.size for p in packets)
+        packets.clear()
+        if out:
+            yield from ctx.compute(
+                int(len(out) * c.driver_per_packet + c.guest_per_byte * min(total, 65536))
+            )
+        return out
+
+    def poll_all(self, ctx=None) -> Generator:
+        out: List[Tuple[int, Any]] = []
+        for pair in list(self._rx):
+            got = yield from self.poll_rx(pair, ctx=ctx)
+            out.extend(got)
+        return out
+
+
+class HostVhost:
+    """L0 vhost worker: bridges an L0-provided virtio device to the NIC.
+
+    Serves both the classic virtual-I/O model (device used by the L1 VM)
+    and virtual-passthrough (device assigned through to a nested VM —
+    then ``translate`` goes through the shadow IOMMU table and RX writes
+    feed the device dirty log used by DVH migration, §3.6).
+    """
+
+    def __init__(
+        self,
+        l0,
+        device: VirtioDevice,
+        user_vm,
+        flow: str,
+        translate: Optional[Callable[[int, bool], int]] = None,
+    ) -> None:
+        self.l0 = l0
+        self.machine = l0.machine
+        self.device = device
+        self.user_vm = user_vm
+        self.flow = flow
+        self.translate = translate
+        self._wake = self.machine.sim.event("vhost-wake")
+        self._rx_backlog: List[Packet] = []
+        self._running = False
+        #: DVH migration support (§3.6): pages the device DMAs into, in
+        #: user-VM guest-physical frames (drained via the PCI migration
+        #: capability).
+        self.dirty_log: Optional[DirtyLog] = None
+        #: Pause flag for the stop-and-copy migration phase.
+        self.paused = False
+        device.on_kick = self._on_kick
+        self.machine.nic.register_flow(flow, self.on_rx_packet)
+        l0.backends[device] = self
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self.machine.sim.spawn(self._run(), f"vhost:{self.device.name}")
+
+    def _on_kick(self, queue_index: int) -> None:
+        self.machine.metrics.count("vhost_kicks")
+        self._signal()
+
+    def on_rx_packet(self, packet: Packet) -> None:
+        self._rx_backlog.append(packet)
+        self._signal()
+
+    def _signal(self) -> None:
+        ev = self._wake
+        self._wake = self.machine.sim.event("vhost-wake")
+        ev.trigger()
+
+    def pause(self) -> None:
+        """Stop processing (migration stop-and-copy)."""
+        self.paused = True
+
+    def resume(self) -> None:
+        """Resume processing and drain anything queued while paused."""
+        self.paused = False
+        self._signal()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> Generator:
+        c = self.machine.costs
+        while True:
+            had_work = False
+            if not self.paused:
+                # --- TX: guest -> wire (all queues) ----------------
+                for pair in range(self.device.num_queue_pairs):
+                    txq = self.device.tx_q(pair)
+                    while True:
+                        item = txq.pop_avail()
+                        if item is None:
+                            break
+                        desc_id, addr, size, payload = item
+                        had_work = True
+                        self.machine.metrics.charge(
+                            "vhost", c.vhost_per_packet + c.vhost_per_byte * size
+                        )
+                        yield int(c.vhost_per_packet + c.vhost_per_byte * size)
+                        if self.translate is not None:
+                            self.translate(addr, False)
+                        txq.push_used(desc_id, size)
+                        self.machine.nic.tx(
+                            Packet(self.flow, size, payload=payload),
+                            self.machine.client.receive,
+                        )
+                # --- RX: wire -> guest ------------------------------
+                while self._rx_backlog:
+                    packet = self._rx_backlog.pop(0)
+                    pair = (
+                        packet.queue_hint
+                        if packet.queue_hint < self.device.num_queue_pairs
+                        else 0
+                    )
+                    rxq = self.device.rx_q(pair)
+                    slot = rxq.pop_avail()
+                    if slot is None:
+                        self.machine.metrics.count("rx_drops")
+                        continue
+                    desc_id, addr, _buflen, _ = slot
+                    had_work = True
+                    self.machine.metrics.charge(
+                        "vhost", c.vhost_per_packet + c.vhost_per_byte * packet.size
+                    )
+                    yield int(c.vhost_per_packet + c.vhost_per_byte * packet.size)
+                    if self.translate is not None:
+                        self.translate(addr, True)
+                    self.user_vm.memory.write_range(
+                        addr, min(packet.size, PAGE_SIZE * 16)
+                    )
+                    if self.dirty_log is not None:
+                        self.dirty_log.pages.update(
+                            range(addr >> 12, ((addr + packet.size - 1) >> 12) + 1)
+                        )
+                    rxq.push_used(desc_id, packet.size, payload=packet.payload)
+                    driver = self.device.bound_driver
+                    if driver is not None:
+                        ctx, vector = driver.queue_dest(pair)
+                        yield from self.l0.deliver_l0_device_interrupt(ctx, vector)
+            if not had_work:
+                yield self._wake
+
+
+class GuestVhost:
+    """A guest hypervisor's virtio backend for its nested VM's device.
+
+    Runs on a dedicated backend vCPU of the hypervisor's VM (a vhost
+    worker thread), relaying all queues through the hypervisor's own
+    device one level down — Figure 2a's cascade of virtual I/O devices.
+    """
+
+    def __init__(self, hv, guest_device: VirtioDevice, lower, ctx) -> None:
+        self.hv = hv
+        self.machine = hv.machine
+        self.guest_device = guest_device
+        self.lower = lower  # VirtioDriver (or VfNicDriver) one level down
+        self.ctx = ctx  # backend vCPU of the hypervisor's VM
+        # All lower-device interrupts land on the backend vCPU (a single
+        # vhost worker thread services every queue).
+        if hasattr(lower, "device"):
+            for pair in range(lower.device.num_queue_pairs):
+                lower.bind_queue(pair, ctx, VIRTIO_VECTOR_BASE + pair)
+        guest_device.on_kick = lambda q: None  # kicks arrive via MMIO exits
+        hv.backends[guest_device] = self
+        self._running = False
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self.machine.sim.spawn(
+                self._run(), f"gvhost-L{self.hv.level}:{self.guest_device.name}"
+            )
+
+    # ------------------------------------------------------------------
+    def notify_from_guest(self, handler_ctx) -> Generator:
+        """Called inside the hypervisor's MMIO exit handler: signal the
+        vhost worker (ioeventfd + worker wakeup)."""
+        yield IOEVENTFD_SIGNAL
+        self.ctx.pi_desc.post(KICK_VECTOR)
+        self.ctx.pcpu.wake()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> Generator:
+        c = self.machine.costs
+        while True:
+            yield from self.ctx.wait_for_interrupt()
+            # --- TX: nested VM -> lower device ---------------------
+            for pair in range(self.guest_device.num_queue_pairs):
+                txq = self.guest_device.tx_q(pair)
+                while True:
+                    item = txq.pop_avail()
+                    if item is None:
+                        break
+                    desc_id, _addr, size, payload = item
+                    self.machine.metrics.charge(
+                        "ghv_vhost", c.vhost_per_packet + c.vhost_per_byte * size
+                    )
+                    yield from self.ctx.compute(
+                        int(c.vhost_per_packet + c.vhost_per_byte * size)
+                    )
+                    txq.push_used(desc_id, size)
+                    yield from self.lower.send(
+                        size, payload=payload, kick=True,
+                        queue=min(pair, self.lower.device.num_queue_pairs - 1)
+                        if hasattr(self.lower, "device") else 0,
+                        ctx=self.ctx,
+                    )
+            # --- RX: lower device -> nested VM ---------------------
+            # Track which guest queues got data so each bound worker is
+            # interrupted exactly once per batch.
+            touched: Dict[int, int] = {}
+            for pair in range(self.guest_device.num_queue_pairs):
+                lower_pair = (
+                    min(pair, self.lower.device.num_queue_pairs - 1)
+                    if hasattr(self.lower, "device")
+                    else pair
+                )
+                received = yield from self.lower.poll_rx(lower_pair, ctx=self.ctx)
+                rxq = self.guest_device.rx_q(pair)
+                for packet_size, payload in received:
+                    slot = rxq.pop_avail()
+                    if slot is None:
+                        self.machine.metrics.count("rx_drops")
+                        break
+                    desc_id, addr, _buflen, _ = slot
+                    self.machine.metrics.charge(
+                        "ghv_vhost",
+                        c.vhost_per_packet + c.vhost_per_byte * packet_size,
+                    )
+                    yield from self.ctx.compute(
+                        int(c.vhost_per_packet + c.vhost_per_byte * packet_size)
+                    )
+                    rxq.push_used(desc_id, packet_size, payload=payload)
+                    vm = self.guest_device.bound_driver.irq_dest.vm
+                    vm.memory.write_range(addr, min(packet_size, PAGE_SIZE * 16))
+                    touched[pair] = touched.get(pair, 0) + 1
+            for pair in touched:
+                driver = self.guest_device.bound_driver
+                ctx, vector = driver.queue_dest(pair)
+                yield from self.hv.inject_interrupt(self.ctx, ctx, vector)
+                l0 = self.hv._hv_at(0)
+                # Without posted-interrupt support reaching the nested VM,
+                # the target also pays a guest-hypervisor-mediated
+                # injection exit.
+                l0.charge_injection(ctx, "virtio")
+                l0.wake_target(ctx)

@@ -1,0 +1,315 @@
+"""Virtual machines and virtual CPUs.
+
+A :class:`VCpu` is the execution context for code inside a VM at any
+virtualization level.  Its :meth:`VCpu.execute` is where the
+architecture's single-level virtualization support lives: every trapping
+operation, from any level, exits to the *host* hypervisor first (paper
+§2); the host then handles it directly or forwards it to the owning guest
+hypervisor, which is where exit multiplication comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.hw.cpu import ExecutionContext, PhysicalCpu
+from repro.hw.ept import PageTable
+from repro.hw.lapic import Lapic, TIMER_VECTOR
+from repro.hw.mem import MemorySpace
+from repro.hw.ops import (
+    MSR_TSC_DEADLINE,
+    MSR_X2APIC_ICR,
+    Exit,
+    ExitReason,
+    Op,
+)
+from repro.hw.pci import PciBus, PciDevice
+from repro.hw.posted import PiDescriptor
+from repro.hw.vmx import Vmcs, VmcsField
+
+__all__ = ["VirtualMachine", "VCpu"]
+
+
+class VirtualMachine:
+    """A VM at virtualization level ``level`` (1 = runs on the host)."""
+
+    def __init__(
+        self,
+        name: str,
+        level: int,
+        machine,
+        manager,
+        memory_bytes: int,
+    ) -> None:
+        if level < 1:
+            raise ValueError("VM level starts at 1")
+        self.name = name
+        self.level = level
+        self.machine = machine
+        #: The hypervisor that manages (created) this VM; its level is
+        #: ``level - 1``.
+        self.manager = manager
+        self.memory = MemorySpace(memory_bytes, name=f"{name}-ram")
+        #: Guest-visible PCI bus (populated by the manager).
+        self.bus = PciBus(f"{name}-pci")
+        #: Guest-physical -> parent-physical page table, maintained by the
+        #: manager (for level 1: by L0, it IS the hardware EPT).
+        self.ept = PageTable(name=f"{name}-ept")
+        self.vcpus: List["VCpu"] = []
+        #: MMIO ranges mapped straight through (passthrough BARs): accesses
+        #: do not trap.
+        self._no_trap_ranges: List[Tuple[int, int]] = []
+        #: Virtual CPU interrupt mapping table (§3.3): guest-physical base
+        #: address programmed by the hypervisor *inside* this VM when it
+        #: enables virtual IPIs for its nested VM.
+        self.vcimtar: Optional[int] = None
+        #: Set when a physical device is passed through to this VM or a VM
+        #: nested inside it: migration becomes impossible (§1, §3.6).
+        self.hardware_coupled = False
+
+    # ------------------------------------------------------------------
+    # vCPUs
+    # ------------------------------------------------------------------
+    def add_vcpu(self, pcpu: PhysicalCpu, parent: Optional["VCpu"]) -> "VCpu":
+        vcpu = VCpu(self, len(self.vcpus), pcpu, parent)
+        self.vcpus.append(vcpu)
+        return vcpu
+
+    # ------------------------------------------------------------------
+    # MMIO trapping
+    # ------------------------------------------------------------------
+    def map_mmio_no_trap(self, base: int, size: int) -> None:
+        """Map a BAR window straight through (device passthrough)."""
+        self._no_trap_ranges.append((base, base + size))
+
+    def traps_mmio(self, addr: int) -> bool:
+        for lo, hi in self._no_trap_ranges:
+            if lo <= addr < hi:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VM {self.name} L{self.level} vcpus={len(self.vcpus)}>"
+
+
+class VCpu(ExecutionContext):
+    """A virtual CPU, pinned 1:1 to a physical CPU (paper §4 methodology).
+
+    ``parent`` links the nesting chain: an L2 vCPU's parent is the L1 vCPU
+    it runs on, whose parent is None (L1 vCPUs run on physical CPUs).
+    """
+
+    def __init__(
+        self,
+        vm: VirtualMachine,
+        index: int,
+        pcpu: PhysicalCpu,
+        parent: Optional["VCpu"],
+    ) -> None:
+        self.vm = vm
+        self.index = index
+        self.level = vm.level
+        self.name = f"{vm.name}.vcpu{index}"
+        self.pcpu = pcpu
+        self.parent = parent
+        self.lapic = Lapic(apic_id=index)
+        self.pi_desc = PiDescriptor(self.name)
+        #: The VMCS the *manager* keeps for this vCPU: vmcs01 when the
+        #: manager is L0, a vmcs12 kept in guest memory otherwise.
+        self.vmcs = Vmcs(owner_level=vm.level - 1, name=f"{self.name}.vmcs")
+        #: Cycles of pending interrupt-injection work this vCPU must absorb
+        #: (guest-hypervisor intervention for interrupts that could not be
+        #: posted directly; drained at the next wait).
+        self.pending_exit_work = 0
+        #: The merged VMCS L0 actually runs this vCPU with (only for
+        #: nested vCPUs; for L1 vCPUs it is the same object as .vmcs).
+        self.merged_vmcs = self.vmcs if vm.level == 1 else Vmcs(0, f"{self.name}.vmcs0n")
+        if parent is not None and parent.level != vm.level - 1:
+            raise ValueError("parent vCPU must be one level down")
+        if vm.level > 1 and parent is None:
+            raise ValueError("nested vCPU needs a parent")
+
+    # ------------------------------------------------------------------
+    # Shortcuts
+    # ------------------------------------------------------------------
+    @property
+    def machine(self):
+        return self.vm.machine
+
+    @property
+    def memory(self):
+        """The guest-physical address space this vCPU addresses."""
+        return self.vm.memory
+
+    @property
+    def host_hv(self):
+        return self.vm.machine.host_hv
+
+    @property
+    def costs(self):
+        return self.vm.machine.costs
+
+    @property
+    def metrics(self):
+        return self.vm.machine.metrics
+
+    def chain(self) -> List["VCpu"]:
+        """vCPUs from L1 down to this one: [vcpu_L1, ..., self]."""
+        out: List[VCpu] = []
+        v: Optional[VCpu] = self
+        while v is not None:
+            out.append(v)
+            v = v.parent
+        out.reverse()
+        return out
+
+    def chain_vcpu(self, level: int) -> "VCpu":
+        """The vCPU of the level-``level`` VM on this chain."""
+        ch = self.chain()
+        if not 1 <= level <= len(ch):
+            raise ValueError(f"no level-{level} vCPU on chain of {self.name}")
+        return ch[level - 1]
+
+    def total_tsc_offset(self) -> int:
+        """Sum of VMCS TSC offsets from the host down to this vCPU
+        (guest TSC = host TSC + total offset)."""
+        return sum(v.vmcs.read(VmcsField.TSC_OFFSET) for v in self.chain())
+
+    # ------------------------------------------------------------------
+    # ExecutionContext: compute / memory / time
+    # ------------------------------------------------------------------
+    def compute(self, cycles: int) -> Generator:
+        """Unprivileged guest work runs at native speed (hardware
+        virtualization), so it just consumes time."""
+        self.metrics.charge("guest_work", cycles)
+        yield cycles
+
+    def mem_write(self, addr: int, size: int) -> None:
+        self.vm.memory.write_range(addr, size)
+
+    def read_tsc(self) -> int:
+        """RDTSC does not trap: hardware applies the merged offset."""
+        return self.pcpu.tsc + self.total_tsc_offset()
+
+    # ------------------------------------------------------------------
+    # ExecutionContext: privileged operations
+    # ------------------------------------------------------------------
+    def execute(self, op: Op, count: int = 1, **info: Any) -> Generator:
+        """Execute a privileged operation ``count`` times.
+
+        VMREAD/VMWRITE on fields covered by VMCS shadowing are satisfied
+        from the shadow VMCS without any exit; MMIO to passthrough-mapped
+        windows goes straight to the device.  Everything else takes a full
+        hardware exit to L0 (single-level virtualization support, §2).
+        """
+        # --- VMCS shadowing fast path -------------------------------
+        if op in (Op.VMREAD, Op.VMWRITE):
+            vmcs: Optional[Vmcs] = info.get("vmcs")
+            fieldname: Optional[VmcsField] = info.get("field")
+            if (
+                vmcs is not None
+                and fieldname is not None
+                and vmcs.is_shadowed(fieldname)
+            ):
+                yield self.costs.vmcs_shadowed_access * count
+                if op is Op.VMWRITE:
+                    vmcs.write(fieldname, info.get("value"))
+                    return None
+                return vmcs.read(fieldname)
+
+        # --- Passthrough MMIO fast path -----------------------------
+        if op is Op.MMIO_WRITE and not self.vm.traps_mmio(info.get("addr", 0)):
+            yield self.costs.ring_access * count
+            device: Optional[PciDevice] = info.get("device")
+            if device is not None:
+                for _ in range(count):
+                    device.mmio_write(info.get("addr", 0), info.get("value"))
+            return None
+
+        # --- Full trap path -----------------------------------------
+        result = None
+        for _ in range(count):
+            exit_ = self._make_exit(op, info)
+            result = yield from self.host_hv.dispatch_exit(self, exit_)
+        return result
+
+    def _make_exit(self, op: Op, info: dict) -> Exit:
+        if op is Op.WRMSR:
+            msr = info.get("msr")
+            if msr == MSR_TSC_DEADLINE:
+                reason = ExitReason.APIC_TIMER
+            elif msr == MSR_X2APIC_ICR:
+                reason = ExitReason.APIC_ICR
+            else:
+                reason = ExitReason.MSR_WRITE
+        elif op is Op.RDMSR:
+            reason = ExitReason.MSR_READ
+        elif op in (
+            Op.VMREAD,
+            Op.VMWRITE,
+            Op.VMPTRLD,
+            Op.VMRESUME,
+            Op.VMLAUNCH,
+            Op.INVEPT,
+        ):
+            reason = ExitReason.VMX_INSTRUCTION
+        elif op is Op.VMCALL:
+            reason = ExitReason.VMCALL
+        elif op is Op.HLT:
+            reason = ExitReason.HLT
+        elif op is Op.CPUID:
+            reason = ExitReason.CPUID
+        elif op in (Op.MMIO_READ, Op.MMIO_WRITE):
+            reason = ExitReason.MMIO
+        elif op is Op.PIO_WRITE:
+            reason = ExitReason.IO_INSTRUCTION
+        else:  # pragma: no cover - exhaustive over Op
+            raise ValueError(f"unhandled op {op}")
+        return Exit(reason=reason, op=op, from_level=self.level, info=info, vcpu=self)
+
+    # ------------------------------------------------------------------
+    # ExecutionContext: timers / IPIs / idle
+    # ------------------------------------------------------------------
+    def program_timer(self, deadline_tsc: int, vector: int = TIMER_VECTOR) -> Generator:
+        self.lapic.arm_timer(deadline_tsc, vector)
+        return (
+            yield from self.execute(
+                Op.WRMSR, msr=MSR_TSC_DEADLINE, deadline=deadline_tsc, vector=vector
+            )
+        )
+
+    def send_ipi(self, dest_index: int, vector: int) -> Generator:
+        return (
+            yield from self.execute(
+                Op.WRMSR, msr=MSR_X2APIC_ICR, dest=dest_index, vector=vector
+            )
+        )
+
+    def wait_for_interrupt(self) -> Generator:
+        """HLT until an interrupt is pending, then ack it.
+
+        Pending posted interrupts are synced first (hardware does this on
+        VM entry), so a wait with work already posted returns immediately.
+        """
+        self.pi_desc.sync_to(self.lapic)
+        while not self.lapic.has_pending():
+            yield from self.execute(Op.HLT)
+            self.pi_desc.sync_to(self.lapic)
+        if self.pending_exit_work:
+            # Interrupts delivered without posted-interrupt support made
+            # this vCPU exit so the guest hypervisor could inject them.
+            work, self.pending_exit_work = self.pending_exit_work, 0
+            self.metrics.charge("inject_exits", work)
+            yield work
+        return self.lapic.ack()
+
+    def irq_work(self) -> Generator:
+        """Guest IRQ entry/dispatch/EOI.  EOI is virtualized by APICv and
+        does not trap."""
+        costs = self.costs
+        self.metrics.charge("guest_work", costs.guest_irq_entry)
+        yield costs.guest_irq_entry + costs.eoi_virtualized
+        self.lapic.eoi()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VCpu {self.name} pcpu={self.pcpu.idx}>"

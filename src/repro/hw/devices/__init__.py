@@ -1,0 +1,18 @@
+"""Simulated devices: physical NIC/SSD and virtio paravirtual devices."""
+
+from repro.hw.devices.block import BlockRequest, SsdDevice
+from repro.hw.devices.nic import Packet, PhysicalNic, RemoteClient, VirtualFunction, Wire
+from repro.hw.devices.virtio import VirtioDevice, Virtqueue, VirtqueueFull
+
+__all__ = [
+    "BlockRequest",
+    "SsdDevice",
+    "Packet",
+    "PhysicalNic",
+    "RemoteClient",
+    "VirtualFunction",
+    "Wire",
+    "VirtioDevice",
+    "Virtqueue",
+    "VirtqueueFull",
+]

@@ -1,0 +1,204 @@
+"""Virtio paravirtual devices: virtqueues and the PCI device model.
+
+These are the "virtual I/O devices" of the paper's traditional model
+(Figure 2a) and the devices that get *assigned* under virtual-passthrough
+(Figure 2c).  They are PCI devices with standard BARs and capability lists
+precisely because virtual-passthrough requires virtual devices that
+conform to the physical device interface specification (§3.1: "PCI-based
+virtual I/O devices are widely available and are assignable").
+
+The virtqueue implements real descriptor/avail/used index arithmetic with
+wraparound, so ring invariants are testable properties; buffer addresses
+are guest-physical and must be translated by whoever moves the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.hw.pci import Capability, CapabilityId, PciDevice
+
+__all__ = ["VirtqueueFull", "Virtqueue", "VirtioDevice", "NOTIFY_OFFSET"]
+
+#: Offset of the queue-notify doorbell inside BAR0.
+NOTIFY_OFFSET = 0x100
+
+VIRTIO_VENDOR = 0x1AF4
+VIRTIO_NET_DEVICE = 0x1000
+VIRTIO_BLK_DEVICE = 0x1001
+
+
+class VirtqueueFull(Exception):
+    """No free descriptors."""
+
+
+@dataclass
+class Descriptor:
+    addr: int
+    length: int
+    in_use: bool = False
+    payload: Any = None
+
+
+class Virtqueue:
+    """One virtqueue: descriptor table + avail ring + used ring."""
+
+    def __init__(self, index: int, size: int = 256) -> None:
+        if size <= 0 or size & (size - 1):
+            raise ValueError("virtqueue size must be a power of two")
+        self.index = index
+        self.size = size
+        self.desc: List[Descriptor] = [Descriptor(0, 0) for _ in range(size)]
+        self._free: List[int] = list(range(size))
+        # Ring state: monotonically increasing indices, slots = idx % size.
+        self.avail_ring: List[int] = [0] * size
+        self.avail_idx = 0  # driver-owned producer index
+        self.last_avail = 0  # device-owned consumer index
+        self.used_ring: List[Tuple[int, int]] = [(0, 0)] * size
+        self.used_idx = 0  # device-owned producer index
+        self.last_used = 0  # driver-owned consumer index
+
+    # ------------------------------------------------------------------
+    # Driver (guest) side
+    # ------------------------------------------------------------------
+    def add_buffer(self, addr: int, length: int, payload: Any = None) -> int:
+        """Post a buffer; returns the descriptor id."""
+        if not self._free:
+            raise VirtqueueFull(f"queue {self.index} has no free descriptors")
+        if self.avail_idx - self.last_avail >= self.size:
+            raise VirtqueueFull(f"queue {self.index} avail ring full")
+        desc_id = self._free.pop()
+        d = self.desc[desc_id]
+        d.addr, d.length, d.in_use, d.payload = addr, length, True, payload
+        self.avail_ring[self.avail_idx % self.size] = desc_id
+        self.avail_idx += 1
+        return desc_id
+
+    def reap_used(self) -> List[Tuple[int, int, Any]]:
+        """Collect completions: list of (desc_id, written_len, payload)."""
+        out = []
+        while self.last_used < self.used_idx:
+            desc_id, written = self.used_ring[self.last_used % self.size]
+            d = self.desc[desc_id]
+            out.append((desc_id, written, d.payload))
+            d.in_use = False
+            d.payload = None
+            self._free.append(desc_id)
+            self.last_used += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Device side
+    # ------------------------------------------------------------------
+    def pop_avail(self) -> Optional[Tuple[int, int, int, Any]]:
+        """Take the next posted buffer: (desc_id, addr, len, payload)."""
+        if self.last_avail >= self.avail_idx:
+            return None
+        desc_id = self.avail_ring[self.last_avail % self.size]
+        self.last_avail += 1
+        d = self.desc[desc_id]
+        return desc_id, d.addr, d.length, d.payload
+
+    _KEEP = object()
+
+    def push_used(self, desc_id: int, written: int, payload: Any = _KEEP) -> None:
+        """Complete a buffer; ``payload`` (if given) replaces the
+        descriptor's payload — how a device hands received data to the
+        driver."""
+        if not self.desc[desc_id].in_use:
+            raise ValueError(f"descriptor {desc_id} not in use")
+        if payload is not Virtqueue._KEEP:
+            self.desc[desc_id].payload = payload
+        self.used_ring[self.used_idx % self.size] = (desc_id, written)
+        self.used_idx += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def avail_pending(self) -> int:
+        """Buffers posted by the driver and not yet consumed."""
+        return self.avail_idx - self.last_avail
+
+    @property
+    def used_pending(self) -> int:
+        """Completions not yet reaped by the driver."""
+        return self.used_idx - self.last_used
+
+    @property
+    def free_descriptors(self) -> int:
+        return len(self._free)
+
+
+class VirtioDevice(PciDevice):
+    """A virtio PCI device (net or blk).
+
+    The *backend* (who services kicks and fills RX rings) is attached by
+    the hypervisor that provides the device; the *driver* runs in whatever
+    guest the device is visible to — possibly a nested VM when the device
+    has been virtually passed through.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str = "net",
+        num_queues: int = 2,
+        queue_size: int = 256,
+        provider_level: int = 0,
+    ) -> None:
+        device_id = VIRTIO_NET_DEVICE if kind == "net" else VIRTIO_BLK_DEVICE
+        super().__init__(name, VIRTIO_VENDOR, device_id, bar_sizes=[0x4000])
+        self.kind = kind
+        #: Virtualization level of the hypervisor providing this device
+        #: (0 = host hypervisor: required for virtual-passthrough).
+        self.provider_level = provider_level
+        self.queues: List[Virtqueue] = [
+            Virtqueue(i, queue_size) for i in range(num_queues)
+        ]
+        self.add_capability(Capability(CapabilityId.MSIX, {"table_size": num_queues}))
+        self.add_capability(Capability(CapabilityId.PCIE, {}))
+        #: queue index -> MSI vector the driver configured.
+        self.msi_vectors: dict = {}
+        #: Called on a doorbell write: fn(queue_index).
+        self.on_kick: Optional[Callable[[int], None]] = None
+
+    # Conventional queue layout for virtio-net: pairs [rx0, tx0, rx1,
+    # tx1, ...] (multiqueue, one pair per worker under RSS).
+    @property
+    def num_queue_pairs(self) -> int:
+        return max(1, len(self.queues) // 2)
+
+    def rx_q(self, pair: int) -> Virtqueue:
+        return self.queues[2 * pair]
+
+    def tx_q(self, pair: int) -> Virtqueue:
+        return self.queues[2 * pair + 1]
+
+    @property
+    def rx(self) -> Virtqueue:
+        return self.rx_q(0)
+
+    @property
+    def tx(self) -> Virtqueue:
+        return self.tx_q(0)
+
+    def mmio_write(self, addr: int, value: Any) -> None:
+        """Doorbell: value = queue index."""
+        bar = self.bar_of(addr)
+        if bar is None or addr - bar.base != NOTIFY_OFFSET:
+            # Config writes: ignore contents, they are setup-time only.
+            return
+        if self.on_kick is not None:
+            self.on_kick(int(value))
+
+    def mmio_read(self, addr: int) -> Any:
+        return 0
+
+    @property
+    def notify_addr(self) -> int:
+        base = self.bars[0].base
+        if base is None:
+            raise RuntimeError(f"{self.name} not plugged into a bus")
+        return base + NOTIFY_OFFSET

@@ -1,0 +1,224 @@
+"""Extended page tables (EPT) and address-translation machinery.
+
+A real 4-level radix page table over 4 KiB pages, mapping guest-physical
+page frames to parent-physical page frames with permissions.  The same
+structure backs:
+
+* the EPT the host hypervisor builds for each of its VMs,
+* the *shadow* EPT L0 builds for nested VMs (composition of per-level
+  tables, Section 2),
+* IOMMU DMA translation tables and the shadow IOMMU tables that make
+  (virtual-) passthrough work (Sections 3.1, 3.5).
+
+Write-protection supports dirty logging for live migration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.hw.mem import PAGE_SHIFT
+
+__all__ = ["Perm", "EptViolation", "PageTable", "compose"]
+
+#: Bits of page-frame number consumed per radix level (9 bits, x86-style).
+LEVEL_BITS = 9
+LEVELS = 4
+
+
+class Perm(enum.IntFlag):
+    """Page permissions."""
+
+    NONE = 0
+    R = 1
+    W = 2
+    X = 4
+    RW = R | W
+    RWX = R | W | X
+
+
+class EptViolation(Exception):
+    """Raised on a translation miss or permission failure."""
+
+    def __init__(self, pfn: int, access: Perm, reason: str) -> None:
+        super().__init__(f"EPT violation at pfn {pfn:#x} ({access!r}): {reason}")
+        self.pfn = pfn
+        self.access = access
+        self.reason = reason
+
+
+@dataclass
+class Pte:
+    """A leaf page-table entry."""
+
+    target_pfn: int
+    perm: Perm
+    #: Original permission before write-protection for dirty logging.
+    saved_perm: Optional[Perm] = None
+    dirty: bool = False
+    accessed: bool = False
+
+
+class PageTable:
+    """A 4-level radix page table keyed by page frame number.
+
+    The radix nodes are real nested dicts, so a translation performs an
+    actual multi-level walk — the walk depth is observable (and charged
+    by callers that model walk latency).
+    """
+
+    def __init__(self, name: str = "ept") -> None:
+        self.name = name
+        self._root: Dict[int, dict] = {}
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _indices(pfn: int) -> Tuple[int, ...]:
+        idx = []
+        for level in reversed(range(LEVELS)):
+            idx.append((pfn >> (LEVEL_BITS * level)) & ((1 << LEVEL_BITS) - 1))
+        return tuple(idx)
+
+    def map(self, pfn: int, target_pfn: int, perm: Perm = Perm.RWX) -> None:
+        """Map guest pfn -> target pfn with permissions."""
+        if perm == Perm.NONE:
+            raise ValueError("cannot map with empty permissions")
+        node = self._root
+        *upper, leaf = self._indices(pfn)
+        for idx in upper:
+            node = node.setdefault(idx, {})
+        if leaf not in node:
+            self._count += 1
+        node[leaf] = Pte(target_pfn=target_pfn, perm=perm)
+
+    def unmap(self, pfn: int) -> bool:
+        """Remove a mapping; returns whether it existed."""
+        node = self._root
+        *upper, leaf = self._indices(pfn)
+        for idx in upper:
+            nxt = node.get(idx)
+            if nxt is None:
+                return False
+            node = nxt
+        if leaf in node:
+            del node[leaf]
+            self._count -= 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+    def lookup(self, pfn: int) -> Optional[Pte]:
+        """Walk the table; returns the PTE or None.  No permission check."""
+        node = self._root
+        *upper, leaf = self._indices(pfn)
+        for idx in upper:
+            nxt = node.get(idx)
+            if nxt is None:
+                return None
+            node = nxt
+        pte = node.get(leaf)
+        return pte
+
+    def translate(self, pfn: int, access: Perm = Perm.R) -> int:
+        """Translate with permission enforcement; raises EptViolation."""
+        pte = self.lookup(pfn)
+        if pte is None:
+            raise EptViolation(pfn, access, "not mapped")
+        if access & ~pte.perm:
+            raise EptViolation(pfn, access, f"permission {pte.perm!r}")
+        pte.accessed = True
+        if access & Perm.W:
+            pte.dirty = True
+        return pte.target_pfn
+
+    def translate_addr(self, addr: int, access: Perm = Perm.R) -> int:
+        """Translate a byte address (page offset preserved)."""
+        target_pfn = self.translate(addr >> PAGE_SHIFT, access)
+        return (target_pfn << PAGE_SHIFT) | (addr & ((1 << PAGE_SHIFT) - 1))
+
+    # ------------------------------------------------------------------
+    # Dirty logging via write protection
+    # ------------------------------------------------------------------
+    def write_protect_all(self) -> int:
+        """Remove W from every mapping (start of a dirty-logging round).
+        Returns the number of entries protected."""
+        n = 0
+        for pfn, pte in self.entries():
+            if pte.perm & Perm.W:
+                pte.saved_perm = pte.perm
+                pte.perm = pte.perm & ~Perm.W
+                pte.dirty = False
+                n += 1
+        return n
+
+    def unprotect(self, pfn: int) -> None:
+        """Restore W on one page (after logging the dirty page)."""
+        pte = self.lookup(pfn)
+        if pte is not None and pte.saved_perm is not None:
+            pte.perm = pte.saved_perm
+            pte.saved_perm = None
+            pte.dirty = True
+
+    def dirty_pages(self) -> Iterator[int]:
+        """PFNs whose PTE dirty bit is set."""
+        for pfn, pte in self.entries():
+            if pte.dirty:
+                yield pfn
+
+    def clear_dirty(self) -> None:
+        for _pfn, pte in self.entries():
+            pte.dirty = False
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Tuple[int, Pte]]:
+        """Yield (pfn, pte) for every mapping."""
+
+        def walk(node: Dict[int, dict], depth: int, prefix: int):
+            for idx in sorted(node):
+                child = node[idx]
+                pfn_part = (prefix << LEVEL_BITS) | idx
+                if depth == LEVELS - 1:
+                    yield pfn_part, child
+                else:
+                    yield from walk(child, depth + 1, pfn_part)
+
+        yield from walk(self._root, 0, 0)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, pfn: int) -> bool:
+        return self.lookup(pfn) is not None
+
+
+def compose(outer: PageTable, inner: PageTable, name: str = "shadow") -> PageTable:
+    """Build a shadow table equivalent to translating through ``inner``
+    then ``outer`` (inner: Ln->Lk addresses, outer: Lk->host).
+
+    This is exactly the shadow-page-table construction the paper relies on
+    for recursive virtual-passthrough (Section 3.5, Figure 6): the L1
+    virtual IOMMU holds the combined mappings from Ln VM physical addresses
+    to L1 VM physical addresses.
+
+    Permissions intersect.  Inner mappings whose target is not present in
+    ``outer`` are skipped (they fault on demand at use time).
+    """
+    shadow = PageTable(name=name)
+    for pfn, pte in inner.entries():
+        outer_pte = outer.lookup(pte.target_pfn)
+        if outer_pte is None:
+            continue
+        perm = pte.perm & outer_pte.perm
+        if perm == Perm.NONE:
+            continue
+        shadow.map(pfn, outer_pte.target_pfn, perm)
+    return shadow

@@ -1,0 +1,81 @@
+"""The physical machine: CPUs, memory, IOMMU, PCI bus, NIC, SSD, client.
+
+One :class:`Machine` models one testbed server (paper §4: two 10-core
+2.2 GHz Xeon Silver 4114 CPUs with hyperthreading disabled, 192 GB RAM,
+an Intel DC S3500 SSD and a dual-port Intel X520 10 Gb NIC), plus the
+wire to the dedicated client machine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hw.cpu import NativeContext, PhysicalCpu
+from repro.hw.devices.block import SsdDevice
+from repro.hw.devices.nic import PhysicalNic, RemoteClient, Wire
+from repro.hw.iommu import Iommu
+from repro.hw.mem import MemorySpace
+from repro.hw.pci import PciBus
+from repro.metrics import Metrics
+from repro.sim import CostModel, Simulator, default_costs
+
+__all__ = ["Machine"]
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+class Machine:
+    """A simulated server with its devices and its remote client."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        costs: Optional[CostModel] = None,
+        num_cpus: int = 20,
+        memory_bytes: int = 192 * GB,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.costs = costs if costs is not None else default_costs()
+        self.metrics = Metrics()
+        self.memory = MemorySpace(memory_bytes, name="host-ram")
+        # Stagger TSC boot offsets deterministically; software must get the
+        # offset arithmetic right for cross-CPU timer tests to pass.
+        self.cpus: List[PhysicalCpu] = [
+            PhysicalCpu(i, self.sim, tsc_boot_offset=i * 7) for i in range(num_cpus)
+        ]
+        self.iommu = Iommu(name="vt-d")
+        self.bus = PciBus("host-pci")
+        #: Set by the stack builder: the host hypervisor (L0) and the full
+        #: hypervisor stack [L0, L1-hv, ...] for nested configurations.
+        self.host_hv = None
+        self.hv_stack: list = []
+        self.wire = Wire(self.sim, self.costs.nic_bps, self.costs.wire_latency)
+        self.nic: PhysicalNic = self.bus.plug(PhysicalNic("eth0", self.wire))
+        self.ssd: SsdDevice = self.bus.plug(SsdDevice("ssd0", self.sim, self.costs))
+        self.client = RemoteClient(self.sim, self.wire, self.nic, self.costs)
+
+    # ------------------------------------------------------------------
+    # Native execution (the baseline configuration)
+    # ------------------------------------------------------------------
+    def native_contexts(self, count: int = 4) -> List[NativeContext]:
+        """Bare-metal execution contexts for the native baseline (the
+        paper's native config uses 4 cores)."""
+        if count > len(self.cpus):
+            raise ValueError("not enough physical CPUs")
+        return [NativeContext(self, self.cpus[i], i) for i in range(count)]
+
+    def deliver_native_interrupt(self, cpu_index: int, vector: int) -> None:
+        """Latch an interrupt on a physical CPU's LAPIC and wake it."""
+        cpu = self.cpus[cpu_index]
+        cpu.lapic.set_irr(vector)
+        self.metrics.record_interrupt("native", "direct")
+        cpu.wake()
+
+    def cpu(self, idx: int) -> PhysicalCpu:
+        return self.cpus[idx]
+
+    @property
+    def freq_hz(self) -> int:
+        return self.sim.freq_hz

@@ -1,0 +1,116 @@
+"""Guest/host physical memory spaces with page-granular dirty tracking.
+
+Memory contents are modelled sparsely: a :class:`MemorySpace` stores Python
+objects at addresses.  What matters for the reproduction is not byte-level
+data but (a) which *pages* are touched — the input to live-migration dirty
+logging (paper Section 3.6) — and (b) the address-translation paths
+(EPT / IOMMU) data must cross.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set
+
+__all__ = [
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "DirtyLog",
+    "MemorySpace",
+    "page_of",
+    "pages_in_range",
+]
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+
+def page_of(addr: int) -> int:
+    """Page frame number containing ``addr``."""
+    return addr >> PAGE_SHIFT
+
+
+def pages_in_range(addr: int, size: int) -> range:
+    """Page frame numbers covering ``[addr, addr + size)``."""
+    if size <= 0:
+        return range(0)
+    return range(addr >> PAGE_SHIFT, ((addr + size - 1) >> PAGE_SHIFT) + 1)
+
+
+class MemorySpace:
+    """A (guest- or host-) physical address space.
+
+    ``size_bytes`` bounds the valid address range.  Writes optionally feed
+    any number of attached dirty logs — the hypervisor's migration code
+    attaches/detaches logs around pre-copy rounds.
+    """
+
+    def __init__(self, size_bytes: int, name: str = "mem") -> None:
+        if size_bytes <= 0:
+            raise ValueError("memory size must be positive")
+        self.size_bytes = size_bytes
+        self.name = name
+        self._cells: Dict[int, Any] = {}
+        self._dirty_logs: Set["DirtyLog"] = set()
+        #: Pages ever written (used to size migration's first pre-copy pass).
+        self.touched_pages: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _check(self, addr: int, size: int = 1) -> None:
+        if addr < 0 or addr + size > self.size_bytes:
+            raise IndexError(
+                f"{self.name}: access [{addr:#x}, +{size}) outside "
+                f"{self.size_bytes:#x}-byte space"
+            )
+
+    def read(self, addr: int) -> Any:
+        self._check(addr)
+        return self._cells.get(addr)
+
+    def write(self, addr: int, value: Any) -> None:
+        self._check(addr)
+        self._cells[addr] = value
+        self._mark_dirty(addr, 1)
+
+    def write_range(self, addr: int, size: int) -> None:
+        """Mark a bulk write (e.g. a DMA of ``size`` bytes) without storing
+        per-byte contents."""
+        self._check(addr, size)
+        self._mark_dirty(addr, size)
+
+    def _mark_dirty(self, addr: int, size: int) -> None:
+        pages = pages_in_range(addr, size)
+        self.touched_pages.update(pages)
+        for log in self._dirty_logs:
+            log.pages.update(pages)
+
+    # ------------------------------------------------------------------
+    # Dirty logging
+    # ------------------------------------------------------------------
+    def attach_dirty_log(self, log: "DirtyLog") -> None:
+        self._dirty_logs.add(log)
+
+    def detach_dirty_log(self, log: "DirtyLog") -> None:
+        self._dirty_logs.discard(log)
+
+    @property
+    def total_pages(self) -> int:
+        return (self.size_bytes + PAGE_SIZE - 1) >> PAGE_SHIFT
+
+
+class DirtyLog:
+    """A set of dirtied page frame numbers, drainable in rounds."""
+
+    def __init__(self, name: str = "dirty") -> None:
+        self.name = name
+        self.pages: Set[int] = set()
+
+    def drain(self) -> Set[int]:
+        """Return and clear the currently logged dirty pages."""
+        out = self.pages
+        self.pages = set()
+        return out
+
+    def __len__(self) -> int:
+        return len(self.pages)

@@ -1,0 +1,81 @@
+"""Privileged-operation and exit-reason taxonomy.
+
+Guest code (guest OSes, guest hypervisors, device drivers) interacts with
+the simulated hardware by executing :class:`Op` operations through its
+execution context.  Whether an operation traps, and who handles the exit,
+is decided by the VMX machinery in :mod:`repro.hw.cpu` and the host
+hypervisor in :mod:`repro.hv.kvm` — the enum itself carries no policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Op", "ExitReason", "Exit"]
+
+
+class Op(enum.Enum):
+    """Operations guest code can execute."""
+
+    # VMX instructions (only meaningful for hypervisor code)
+    VMREAD = "vmread"
+    VMWRITE = "vmwrite"
+    VMPTRLD = "vmptrld"
+    VMRESUME = "vmresume"
+    VMLAUNCH = "vmlaunch"
+    INVEPT = "invept"
+
+    # Generic privileged instructions
+    VMCALL = "vmcall"  # hypercall
+    CPUID = "cpuid"
+    HLT = "hlt"
+    RDMSR = "rdmsr"
+    WRMSR = "wrmsr"
+
+    # Memory-mapped / port I/O (device access)
+    MMIO_READ = "mmio_read"
+    MMIO_WRITE = "mmio_write"
+    PIO_WRITE = "pio_write"
+
+
+class ExitReason(enum.Enum):
+    """VM-exit reasons (subset of the Intel SDM list that matters here)."""
+
+    VMCALL = "vmcall"
+    CPUID = "cpuid"
+    HLT = "hlt"
+    MSR_READ = "msr_read"
+    MSR_WRITE = "msr_write"
+    APIC_TIMER = "apic_timer"  # WRMSR IA32_TSC_DEADLINE
+    APIC_ICR = "apic_icr"  # WRMSR x2APIC ICR
+    EPT_VIOLATION = "ept_violation"
+    MMIO = "mmio"  # EPT violation on a device BAR
+    IO_INSTRUCTION = "io"
+    VMX_INSTRUCTION = "vmx"  # guest hypervisor executed a VMX instruction
+    EXTERNAL_INTERRUPT = "external_interrupt"
+    PREEMPTION_TIMER = "preemption_timer"
+
+
+#: Well-known MSR indices (x2APIC registers live in MSR space).
+MSR_TSC_DEADLINE = 0x6E0
+MSR_X2APIC_ICR = 0x830
+MSR_X2APIC_EOI = 0x80B
+
+
+@dataclass
+class Exit:
+    """One VM exit: the reason plus decoded qualification info."""
+
+    reason: ExitReason
+    op: Op
+    #: Virtualization level of the VM the exit came from (1 = L1 guest).
+    from_level: int
+    #: Decoded operands: msr index, mmio address, written value, etc.
+    info: Dict[str, Any] = field(default_factory=dict)
+    #: The vCPU object that took the exit (set by the CPU machinery).
+    vcpu: Optional[Any] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Exit {self.reason.value} L{self.from_level}>"

@@ -1,0 +1,5 @@
+"""Measurement: exit counters, cycle attribution, and reports."""
+
+from repro.metrics.counters import Metrics
+
+__all__ = ["Metrics"]

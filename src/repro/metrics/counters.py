@@ -1,0 +1,132 @@
+"""Exit counters and cycle attribution.
+
+Every simulated machine owns one :class:`Metrics` object.  Hypervisor and
+hardware code report exits, forwards, interrupts, and cycle charges here;
+tests assert invariants on the counts (e.g. "a DVH virtual-timer program
+from an L2 guest causes exactly one L0 exit and zero guest-hypervisor
+interventions") and the benchmark harness uses them for the Figure-8-style
+breakdowns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+__all__ = ["Metrics"]
+
+
+class Metrics:
+    """Counters for one simulation run."""
+
+    def __init__(self) -> None:
+        #: (from_level, reason_name) -> number of hardware exits to L0.
+        self.exits: Counter = Counter()
+        #: (from_level, reason_name, owner_level) -> exits forwarded to a
+        #: guest hypervisor at ``owner_level``.
+        self.forwards: Counter = Counter()
+        #: reason_name -> exits handled directly by L0 (incl. DVH).
+        self.l0_handled: Counter = Counter()
+        #: reason_name -> exits handled by a DVH mechanism specifically.
+        self.dvh_handled: Counter = Counter()
+        #: (vector_kind, mode) -> interrupt deliveries
+        #: (mode is "posted" or "injected").
+        self.interrupts: Counter = Counter()
+        #: category -> cycles charged (e.g. "hw_switch", "l0_emul",
+        #: "ghv_handler", "guest_work", "vhost").
+        self.cycles: Counter = Counter()
+        #: free-form event counts (packets, transactions, migrations...).
+        self.events: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_exit(self, from_level: int, reason: str, count: int = 1) -> None:
+        self.exits[(from_level, reason)] += count
+
+    def record_forward(
+        self, from_level: int, reason: str, owner_level: int, count: int = 1
+    ) -> None:
+        self.forwards[(from_level, reason, owner_level)] += count
+
+    def record_l0_handled(self, reason: str, dvh: bool = False) -> None:
+        self.l0_handled[reason] += 1
+        if dvh:
+            self.dvh_handled[reason] += 1
+
+    def record_interrupt(self, kind: str, mode: str) -> None:
+        self.interrupts[(kind, mode)] += 1
+
+    def charge(self, category: str, cycles: float) -> None:
+        self.cycles[category] += cycles
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.events[name] += n
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def total_exits(self) -> int:
+        """All hardware exits to L0."""
+        return sum(self.exits.values())
+
+    def exits_from_level(self, level: int) -> int:
+        return sum(n for (lvl, _), n in self.exits.items() if lvl == level)
+
+    def exits_for_reason(self, reason: str) -> int:
+        return sum(n for (_, r), n in self.exits.items() if r == reason)
+
+    def guest_hv_interventions(self) -> int:
+        """Exits that had to be forwarded to any guest hypervisor — the
+        quantity DVH is designed to eliminate (paper Section 3)."""
+        return sum(self.forwards.values())
+
+    def forwards_to_level(self, level: int) -> int:
+        return sum(
+            n for (_, _, owner), n in self.forwards.items() if owner == level
+        )
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-dict snapshot for reports."""
+        return {
+            "exits": dict(self.exits),
+            "forwards": dict(self.forwards),
+            "l0_handled": dict(self.l0_handled),
+            "dvh_handled": dict(self.dvh_handled),
+            "interrupts": dict(self.interrupts),
+            "cycles": dict(self.cycles),
+            "events": dict(self.events),
+        }
+
+    def diff(self, earlier: "Metrics") -> "Metrics":
+        """Counters accumulated since ``earlier`` (a copied snapshot)."""
+        out = Metrics()
+        for attr in (
+            "exits",
+            "forwards",
+            "l0_handled",
+            "dvh_handled",
+            "interrupts",
+            "cycles",
+            "events",
+        ):
+            mine: Counter = getattr(self, attr)
+            theirs: Counter = getattr(earlier, attr)
+            result = Counter(mine)
+            result.subtract(theirs)
+            setattr(out, attr, +result)
+        return out
+
+    def copy(self) -> "Metrics":
+        out = Metrics()
+        for attr in (
+            "exits",
+            "forwards",
+            "l0_handled",
+            "dvh_handled",
+            "interrupts",
+            "cycles",
+            "events",
+        ):
+            setattr(out, attr, Counter(getattr(self, attr)))
+        return out

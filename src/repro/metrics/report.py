@@ -1,0 +1,113 @@
+"""Human-readable reports over collected metrics.
+
+These are the analysis views used throughout the paper's narrative: how
+many exits an operation caused, how many reached a guest hypervisor, and
+where the cycles went.  Used by the examples and handy in the REPL:
+
+    >>> from repro.metrics.report import exit_report
+    >>> print(exit_report(stack.metrics))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.metrics.counters import Metrics
+
+__all__ = [
+    "exit_report",
+    "cycle_report",
+    "interrupt_report",
+    "intervention_summary",
+    "full_report",
+]
+
+
+def _table(header: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" if i == 0 else f"{{:>{w}}}" for i, w in enumerate(widths))
+    lines = [fmt.format(*header), fmt.format(*["-" * w for w in widths])]
+    lines += [fmt.format(*row) for row in rows]
+    return "\n".join(lines)
+
+
+def exit_report(metrics: Metrics) -> str:
+    """Hardware exits broken down by source level and reason, with the
+    share forwarded to guest hypervisors."""
+    reasons = sorted({r for (_lvl, r) in metrics.exits})
+    levels = sorted({lvl for (lvl, _r) in metrics.exits})
+    rows = []
+    for reason in reasons:
+        row = [reason]
+        for lvl in levels:
+            row.append(str(metrics.exits.get((lvl, reason), 0)))
+        forwarded = sum(
+            n for (_l, r, _o), n in metrics.forwards.items() if r == reason
+        )
+        row.append(str(forwarded))
+        rows.append(row)
+    total_row = ["TOTAL"]
+    for lvl in levels:
+        total_row.append(str(metrics.exits_from_level(lvl)))
+    total_row.append(str(metrics.guest_hv_interventions()))
+    rows.append(total_row)
+    header = ["exit reason"] + [f"from L{lvl}" for lvl in levels] + ["forwarded"]
+    return "Hardware exits\n" + _table(header, rows)
+
+
+def cycle_report(metrics: Metrics, freq_hz: Optional[int] = None) -> str:
+    """Cycle attribution by category (guest work, L0 emulation, guest
+    hypervisor handlers, vhost, DVH emulation...)."""
+    total = sum(metrics.cycles.values()) or 1
+    rows = []
+    for category, cycles in sorted(metrics.cycles.items(), key=lambda kv: -kv[1]):
+        row = [category, f"{cycles:,.0f}", f"{100 * cycles / total:5.1f}%"]
+        if freq_hz:
+            row.append(f"{cycles / freq_hz * 1e3:8.3f} ms")
+        rows.append(row)
+    header = ["category", "cycles", "share"] + (["time"] if freq_hz else [])
+    return "Cycle attribution\n" + _table(header, rows)
+
+
+def interrupt_report(metrics: Metrics) -> str:
+    """Interrupt deliveries by kind and mode (posted vs injected) — the
+    Figure 8 'posted interrupts' story in numbers."""
+    rows = [
+        [kind, mode, str(n)]
+        for (kind, mode), n in sorted(metrics.interrupts.items())
+    ]
+    return "Interrupt deliveries\n" + _table(["kind", "mode", "count"], rows)
+
+
+def intervention_summary(metrics: Metrics) -> Dict[str, float]:
+    """The headline numbers: exits, interventions, and the DVH share."""
+    total = metrics.total_exits()
+    interventions = metrics.guest_hv_interventions()
+    dvh = sum(metrics.dvh_handled.values())
+    return {
+        "hardware_exits": total,
+        "guest_hv_interventions": interventions,
+        "dvh_handled": dvh,
+        "intervention_ratio": interventions / total if total else 0.0,
+    }
+
+
+def full_report(metrics: Metrics, freq_hz: Optional[int] = None) -> str:
+    """Everything, for dropping at the end of an experiment."""
+    parts = [exit_report(metrics), "", cycle_report(metrics, freq_hz)]
+    if metrics.interrupts:
+        parts += ["", interrupt_report(metrics)]
+    summary = intervention_summary(metrics)
+    parts += [
+        "",
+        (
+            f"{summary['hardware_exits']:,} exits, "
+            f"{summary['guest_hv_interventions']:,} guest-hypervisor "
+            f"interventions ({summary['intervention_ratio']:.1%}), "
+            f"{summary['dvh_handled']:,} handled by DVH"
+        ),
+    ]
+    return "\n".join(parts)

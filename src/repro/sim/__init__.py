@@ -1,0 +1,14 @@
+"""Discrete-event simulation engine and cycle-cost model."""
+
+from repro.sim.costs import CostModel, arm_costs, default_costs
+from repro.sim.engine import Event, Process, SimulationError, Simulator
+
+__all__ = [
+    "CostModel",
+    "arm_costs",
+    "default_costs",
+    "Event",
+    "Process",
+    "SimulationError",
+    "Simulator",
+]

@@ -1,0 +1,260 @@
+"""Deterministic discrete-event simulation engine.
+
+The whole reproduction runs on this engine.  Time is measured in CPU
+*cycles* (integers) of the simulated machine's base clock, matching how the
+paper reports microbenchmark costs (Table 3 is in cycles).  All concurrency
+is expressed as generator-based processes; the engine is fully
+deterministic: event ordering ties are broken by a monotonically increasing
+sequence number and the only randomness comes from a seeded ``random.Random``
+owned by the simulator.
+
+Process protocol
+----------------
+A *process* is a Python generator.  It may yield:
+
+``int`` or ``float``
+    Sleep for that many cycles.
+``Event``
+    Suspend until the event is triggered; the ``yield`` expression
+    evaluates to the value passed to :meth:`Event.trigger`.
+``Process``
+    Join another process; the ``yield`` evaluates to its return value.
+
+Sub-routines compose with plain ``yield from``, which is how the hypervisor
+exit-handler chains in :mod:`repro.hv` nest arbitrarily deep.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
+
+__all__ = ["Simulator", "Event", "Process", "SimulationError"]
+
+#: Cycles per second of the simulated machine (2.2 GHz Xeon Silver 4114,
+#: the paper's testbed CPU).
+DEFAULT_FREQ_HZ = 2_200_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised for violations of the engine's protocol (bad yields, etc.)."""
+
+
+class Event:
+    """A one-shot waitable event.
+
+    Processes wait on an event by yielding it.  Triggering wakes all
+    waiters at the current simulation time (in deterministic FIFO order)
+    and records a value that each waiter's ``yield`` evaluates to.
+    Waiting on an already-triggered event resumes immediately.
+    """
+
+    __slots__ = ("sim", "name", "triggered", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking all waiters at the current time."""
+        if self.triggered:
+            return
+        self.triggered = True
+        self.value = value
+        for proc in self._waiters:
+            self.sim._resume(proc, value)
+        self._waiters.clear()
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self.triggered:
+            self.sim._resume(proc, self.value)
+        else:
+            self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "set" if self.triggered else "pending"
+        return f"<Event {self.name or hex(id(self))} {state}>"
+
+
+class Process:
+    """A running generator, scheduled by the simulator."""
+
+    __slots__ = ("sim", "name", "gen", "done", "result", "cancelled", "_joiners")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.gen = gen
+        self.done = False
+        self.cancelled = False
+        self.result: Any = None
+        self._joiners: List["Process"] = []
+
+    def cancel(self) -> bool:
+        """Stop the process; it never runs again.  Joiners resume with
+        ``None``.  Returns False if it had already finished."""
+        if self.done:
+            return False
+        self.done = True
+        self.cancelled = True
+        self.gen.close()
+        for joiner in self._joiners:
+            self.sim._resume(joiner, None)
+        self._joiners.clear()
+        return True
+
+    def _add_joiner(self, proc: "Process") -> None:
+        if self.done:
+            self.sim._resume(proc, self.result)
+        else:
+            self._joiners.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """The discrete-event simulator: clock, event heap, process scheduler."""
+
+    def __init__(self, freq_hz: int = DEFAULT_FREQ_HZ, seed: int = 0) -> None:
+        self.freq_hz = int(freq_hz)
+        self.now = 0
+        self.rng = random.Random(seed)
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Time helpers
+    # ------------------------------------------------------------------
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds."""
+        return self.now / self.freq_hz
+
+    def cycles(self, seconds: float) -> int:
+        """Convert seconds to cycles of the simulated clock."""
+        return int(round(seconds * self.freq_hz))
+
+    def seconds(self, cycles: int) -> float:
+        """Convert cycles of the simulated clock to seconds."""
+        return cycles / self.freq_hz
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot :class:`Event`."""
+        return Event(self, name)
+
+    def timeout(self, delay: int, value: Any = None, name: str = "timeout") -> Event:
+        """An event that triggers ``delay`` cycles from now."""
+        ev = Event(self, name)
+        self.call_after(delay, lambda: ev.trigger(value))
+        return ev
+
+    def call_at(self, when: int, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at absolute time ``when`` (cycles)."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now {self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (int(when), self._seq, fn))
+
+    def call_after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` cycles."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.call_at(self.now + int(delay), fn)
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Start a new process from generator ``gen``; runs from time now."""
+        if not isinstance(gen, Iterator):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(gen).__name__}"
+            )
+        proc = Process(self, gen, name)
+        self._resume(proc, None)
+        return proc
+
+    # ------------------------------------------------------------------
+    # Process machinery
+    # ------------------------------------------------------------------
+    def _resume(self, proc: Process, value: Any) -> None:
+        self.call_after(0, lambda: self._step(proc, value))
+
+    def _step(self, proc: Process, send_value: Any) -> None:
+        if proc.done:
+            return  # cancelled while a resume was in flight
+        try:
+            yielded = proc.gen.send(send_value)
+        except StopIteration as stop:
+            proc.done = True
+            proc.result = stop.value
+            for joiner in proc._joiners:
+                self._resume(joiner, proc.result)
+            proc._joiners.clear()
+            return
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {proc.name} yielded negative delay {yielded}"
+                )
+            self.call_after(int(yielded), lambda: self._step(proc, None))
+        elif isinstance(yielded, Event):
+            yielded._add_waiter(proc)
+        elif isinstance(yielded, Process):
+            yielded._add_joiner(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name} yielded unsupported {type(yielded).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run until the heap drains, ``until`` cycles pass, or
+        ``max_events`` callbacks have run.  Returns the final time.
+        """
+        while self._heap:
+            when, _seq, fn = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            if max_events is not None and self._event_count >= max_events:
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            self._event_count += 1
+            fn()
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "main") -> Any:
+        """Spawn ``gen``, run the simulation until it finishes, and return
+        its result.  Raises if the heap drains before it completes
+        (deadlock).
+        """
+        proc = self.spawn(gen, name)
+        self.run()
+        if not proc.done:
+            raise SimulationError(f"deadlock: process {name} never finished")
+        return proc.result
+
+    @property
+    def pending_events(self) -> int:
+        """Number of callbacks currently queued."""
+        return len(self._heap)

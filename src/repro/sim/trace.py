@@ -1,0 +1,112 @@
+"""Structured event tracing for debugging and analysis.
+
+A :class:`Tracer` is a bounded ring buffer of timestamped events.  Attach
+one to a machine's metrics-adjacent hooks (or emit from your own code)
+and render a timeline.  Used by tests that need to assert *ordering* of
+events rather than counts, and invaluable when debugging lost-wakeup
+class bugs in the trap chains.
+
+    tracer = Tracer(sim)
+    tracer.emit("exit", vcpu="L2.vcpu0", reason="hlt")
+    ...
+    print(tracer.render(last=20))
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = ["Tracer", "TraceEvent"]
+
+
+class TraceEvent:
+    """One trace record."""
+
+    __slots__ = ("time", "category", "fields")
+
+    def __init__(self, time: int, category: str, fields: Dict[str, Any]) -> None:
+        self.time = time
+        self.category = category
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        body = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"<{self.time} {self.category} {body}>"
+
+
+class Tracer:
+    """A bounded, filterable trace buffer bound to a simulator clock."""
+
+    def __init__(self, sim, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._filters: List[Callable[[TraceEvent], bool]] = []
+        self.enabled = True
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, category: str, **fields: Any) -> None:
+        """Record one event at the current simulation time."""
+        if not self.enabled:
+            return
+        event = TraceEvent(self.sim.now, category, fields)
+        for predicate in self._filters:
+            if not predicate(event):
+                self.dropped += 1
+                return
+        self._events.append(event)
+
+    def add_filter(self, predicate: Callable[[TraceEvent], bool]) -> None:
+        """Only record events the predicate accepts."""
+        self._filters.append(predicate)
+
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        category: Optional[str] = None,
+        since: Optional[int] = None,
+    ) -> List[TraceEvent]:
+        """Events, optionally restricted by category and start time."""
+        out = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if since is not None and event.time < since:
+                continue
+            out.append(event)
+        return out
+
+    def categories(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    def render(self, last: Optional[int] = None, freq_hz: Optional[int] = None) -> str:
+        """A human-readable timeline (most recent ``last`` events)."""
+        events = list(self._events)
+        if last is not None:
+            events = events[-last:]
+        lines = []
+        for event in events:
+            if freq_hz:
+                stamp = f"{event.time / freq_hz * 1e3:10.4f}ms"
+            else:
+                stamp = f"{event.time:>12,}"
+            body = " ".join(f"{k}={v}" for k, v in event.fields.items())
+            lines.append(f"{stamp}  {event.category:<12s} {body}")
+        if self.dropped:
+            lines.append(f"({self.dropped} events filtered out)")
+        return "\n".join(lines)

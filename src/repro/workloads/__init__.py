@@ -1,0 +1,35 @@
+"""Workloads: the paper's microbenchmarks (Table 1) and applications
+(Table 2)."""
+
+from repro.workloads.apps import APPLICATIONS, PAPER_NATIVE, app_names, run_app
+from repro.workloads.engines import (
+    AppResult,
+    HackbenchSpec,
+    RRSpec,
+    StreamSpec,
+    run_hackbench,
+    run_rr,
+    run_stream,
+)
+from repro.workloads.microbench import (
+    MICROBENCHMARKS,
+    run_all_microbenchmarks,
+    run_microbenchmark,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "PAPER_NATIVE",
+    "app_names",
+    "run_app",
+    "AppResult",
+    "HackbenchSpec",
+    "RRSpec",
+    "StreamSpec",
+    "run_hackbench",
+    "run_rr",
+    "run_stream",
+    "MICROBENCHMARKS",
+    "run_all_microbenchmarks",
+    "run_microbenchmark",
+]

@@ -1,0 +1,49 @@
+"""Tests for the exit-breakdown analysis."""
+
+from repro.bench.analysis import (
+    DEFAULT_BREAKDOWN_CONFIGS,
+    exit_breakdown,
+    format_breakdown,
+)
+from repro.core.features import DvhFeatures
+from repro.hv.stack import StackConfig
+
+
+def test_breakdown_contrasts_nested_vs_dvh():
+    rows = exit_breakdown("memcached", scale=0.15)
+    nested, dvh = rows
+    assert nested.config == "Nested VM"
+    # Nested: doorbells are forwarded; DVH: handled at L0.
+    assert sum(nested.interventions_per_txn.values()) > 0.5
+    assert sum(dvh.interventions_per_txn.values()) < 0.2
+    assert dvh.dvh_handled_per_txn > 0.5
+    # And the throughput difference is visible in the same rows.
+    assert dvh.throughput > 1.5 * nested.throughput
+
+
+def test_breakdown_exit_counts_scale_per_txn():
+    rows = exit_breakdown(
+        "netperf_rr",
+        configs=[("L2", lambda: StackConfig(levels=2, io_model="virtio"))],
+        scale=0.1,
+    )
+    (row,) = rows
+    # Every RR transaction kicks the doorbell at least once...
+    assert row.exits_per_txn.get("mmio", 0) >= 1.0
+    # ...and programs timers about twice per transaction at the leaf,
+    # plus the guest hypervisor's own re-programming while emulating
+    # them (the counts aggregate exits from every level).
+    assert 1.5 <= row.exits_per_txn.get("apic_timer", 0) <= 4.5
+    # The bulk of the exits are the L1 handler's VMX instructions —
+    # exit multiplication in one number.
+    assert row.exits_per_txn.get("vmx", 0) > 20
+
+
+def test_format_breakdown_renders_rows():
+    rows = exit_breakdown("hackbench", scale=0.1)
+    text = format_breakdown(rows, app="hackbench")
+    assert "hackbench" in text
+    assert "— forwarded" in text
+    assert "throughput" in text
+    for name, _ in DEFAULT_BREAKDOWN_CONFIGS:
+        assert name in text

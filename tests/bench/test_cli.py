@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_micro_command(capsys):
+    assert main(["micro", "Hypercall", "--levels", "1", "--iterations", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Hypercall" in out and "cycles/op" in out
+
+
+def test_micro_dvh_preset(capsys):
+    assert main(["micro", "ProgramTimer", "--levels", "2", "--dvh", "full",
+                 "--iterations", "5"]) == 0
+    out = capsys.readouterr().out
+    # DVH virtual timer: a few thousand cycles, not tens of thousands.
+    value = int(out.split(":")[1].split("cycles")[0].strip().replace(",", ""))
+    assert value < 10_000
+
+
+def test_app_command_with_report(capsys):
+    assert main(
+        ["app", "hackbench", "--levels", "0", "--scale", "0.1", "--report"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "hackbench" in out
+    assert "Cycle attribution" in out
+
+
+def test_app_io_default_follows_dvh():
+    parser = build_parser()
+    from repro.cli import _stack_config
+
+    args = parser.parse_args(["app", "memcached", "--levels", "2", "--dvh", "full"])
+    assert _stack_config(args).io_model == "vp"
+    args = parser.parse_args(["app", "memcached", "--levels", "2"])
+    assert _stack_config(args).io_model == "virtio"
+    args = parser.parse_args(["app", "memcached", "--levels", "0"])
+    assert _stack_config(args).io_model == "native"
+
+
+def test_figure_rejects_unknown_number():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "12"])
+
+
+def test_xen_flag(capsys):
+    assert main(
+        ["micro", "Hypercall", "--levels", "2", "--guest-hv", "xen",
+         "--iterations", "5"]
+    ) == 0
+    out = capsys.readouterr().out
+    value = int(out.split(":")[1].split("cycles")[0].strip().replace(",", ""))
+    assert value > 45_000  # Xen guest hypervisor costs more than KVM's ~38K
+
+
+def test_figure_command_chart(capsys):
+    assert main(
+        ["figure", "7", "--apps", "hackbench", "--scale", "0.1", "--chart"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "|" in out and "#" in out  # bars
+
+
+def test_figure_command_table(capsys):
+    assert main(["figure", "8", "--apps", "hackbench", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "+ virtual idle (= DVH)" in out
+
+
+def test_migration_command(capsys):
+    assert main(["migration"]) == 0
+    out = capsys.readouterr().out
+    assert "MIGRATION NOT SUPPORTED" in out
+
+
+def test_analyze_command(capsys):
+    assert main(["analyze", "hackbench", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "— forwarded" in out

@@ -1,0 +1,51 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.plot import ascii_bar, ascii_figure
+from repro.bench.runner import FigureResult
+
+
+def test_bar_proportions():
+    assert ascii_bar(5, 10, 10) == "|#####     |"
+    assert ascii_bar(10, 10, 10) == "|##########|"
+    assert ascii_bar(0, 10, 10) == "|          |"
+
+
+def test_bar_clipping_marker():
+    bar = ascii_bar(25, 10, 10)
+    assert bar.endswith(">|")
+    assert bar.count("#") == 9
+
+
+def test_bar_rejects_bad_axis():
+    with pytest.raises(ValueError):
+        ascii_bar(1, 0, 10)
+
+
+def sample_result():
+    r = FigureResult(title="Test figure", configs=["A", "B"])
+    r.overheads = {
+        "app1": {"A": 1.0, "B": 5.0},
+        "app2": {"A": 2.0, "B": 100.0},
+    }
+    return r
+
+
+def test_figure_renders_all_rows():
+    text = ascii_figure(sample_result(), width=20)
+    assert "Test figure" in text
+    assert "app1" in text and "app2" in text
+    assert text.count("|") == 2 * 4  # two bars per app
+    assert "100.00" in text
+
+
+def test_figure_clip_annotation():
+    text = ascii_figure(sample_result(), width=20, clip=10.0)
+    assert "clipped at 10.0x" in text
+    assert ">" in text  # the 100x bar is off scale
+
+
+def test_empty_figure():
+    r = FigureResult(title="Empty", configs=[])
+    assert "no data" in ascii_figure(r)

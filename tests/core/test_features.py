@@ -1,0 +1,42 @@
+"""Tests for DVH feature flags."""
+
+import pytest
+
+from repro.core.features import DvhFeatures
+
+
+def test_none_disables_everything():
+    f = DvhFeatures.none()
+    assert not f.any_enabled
+
+
+def test_full_enables_everything():
+    f = DvhFeatures.full()
+    assert f.virtual_passthrough
+    assert f.viommu_posted_interrupts
+    assert f.virtual_ipi
+    assert f.virtual_timer
+    assert f.virtual_idle
+    assert f.any_enabled
+
+
+def test_vp_only_is_the_conservative_config():
+    """DVH-VP: virtual-passthrough without even vIOMMU posted interrupts
+    (the paper's conservative comparison against passthrough)."""
+    f = DvhFeatures.vp_only()
+    assert f.virtual_passthrough
+    assert not f.viommu_posted_interrupts
+    assert not f.virtual_timer
+    assert f.any_enabled
+
+
+def test_with_overrides():
+    f = DvhFeatures.vp_only().with_(virtual_timer=True)
+    assert f.virtual_timer and f.virtual_passthrough
+    assert not f.virtual_ipi
+
+
+def test_frozen():
+    f = DvhFeatures.none()
+    with pytest.raises(Exception):
+        f.virtual_timer = True  # type: ignore[misc]

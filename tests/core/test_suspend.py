@@ -1,0 +1,102 @@
+"""Tests for suspend/resume (the §1 interposition benefit)."""
+
+import pytest
+
+from repro.core.features import DvhFeatures
+from repro.core.suspend import VmCheckpoint, resume_vm, suspend_vm
+from repro.hv.passthrough import MigrationNotSupported
+from repro.hv.stack import StackConfig, build_stack
+
+
+def make_dvh():
+    stack = build_stack(
+        StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full())
+    )
+    stack.settle()
+    return stack
+
+
+def test_suspend_refuses_passthrough():
+    stack = build_stack(StackConfig(levels=2, io_model="passthrough"))
+    with pytest.raises(MigrationNotSupported):
+        suspend_vm(stack.machine, stack.leaf_vm)
+
+
+def test_checkpoint_captures_pending_interrupts():
+    stack = make_dvh()
+    ctx = stack.ctx(0)
+    ctx.lapic.set_irr(0x55)
+    ctx.pi_desc.post(0x66)
+    cp = suspend_vm(stack.machine, stack.leaf_vm, devices=[stack.net.device])
+    assert 0x55 in cp.vcpus[0]["irr"]
+    assert 0x66 in cp.vcpus[0]["pir"]
+    assert stack.net.device.name in cp.devices
+
+
+def test_resume_restores_interrupt_state():
+    stack = make_dvh()
+    ctx = stack.ctx(0)
+    ctx.lapic.set_irr(0x55)
+    cp = suspend_vm(stack.machine, stack.leaf_vm)
+    ctx.lapic.irr.clear()
+    resume_vm(stack.machine, stack.leaf_vm, cp)
+    assert 0x55 in ctx.lapic.irr
+
+
+def test_timer_rearmed_relative_to_resume_time():
+    """A timer 1ms from firing at suspend fires ~1ms after resume, no
+    matter how long the VM stayed suspended."""
+    stack = make_dvh()
+    ctx = stack.ctx(0)
+    sim = stack.sim
+    remaining = sim.cycles(0.001)
+
+    def arm():
+        yield from ctx.program_timer(ctx.read_tsc() + remaining)
+
+    sim.spawn(arm(), "arm")
+    sim.run(until=sim.now + 20_000)  # op completes; deadline still ahead
+    cp = suspend_vm(stack.machine, stack.leaf_vm)
+    remaining = cp.vcpus[0]["timer_remaining"]
+    assert remaining is not None and remaining > 0
+    # "Suspended" for a long time...
+    sim.run(until=sim.now + sim.cycles(0.5))
+    resume_vm(stack.machine, stack.leaf_vm, cp)
+    resumed_at = sim.now
+    got = {}
+
+    def wait():
+        got["vector"] = yield from ctx.wait_for_interrupt()
+        got["at"] = sim.now
+
+    sim.run_process(wait())
+    assert got["vector"] == ctx.lapic.timer_vector
+    fired_after = got["at"] - resumed_at
+    assert remaining * 0.9 <= fired_after <= remaining + 50_000
+
+
+def test_resume_validates_identity():
+    stack = make_dvh()
+    cp = suspend_vm(stack.machine, stack.leaf_vm)
+    other = build_stack(StackConfig(levels=3, io_model="virtio"))
+    with pytest.raises(ValueError):
+        resume_vm(other.machine, other.leaf_vm, cp)  # an L3 VM, not "L2"
+
+
+def test_checkpoint_includes_dvh_state():
+    stack = make_dvh()
+    cp = suspend_vm(stack.machine, stack.leaf_vm)
+    assert cp.dvh_state["virtual_timer_enabled"]
+    assert cp.dvh_state["vcimtar"] is not None
+
+
+def test_resume_on_fresh_identical_host():
+    """Suspend on one stack, resume on a freshly built identical one —
+    the crux of encapsulation."""
+    src = make_dvh()
+    src.ctx(0).lapic.set_irr(0x41)
+    cp = suspend_vm(src.machine, src.leaf_vm, devices=[src.net.device])
+    dst = make_dvh()
+    resume_vm(dst.machine, dst.leaf_vm, cp)
+    assert 0x41 in dst.ctx(0).lapic.irr
+    assert dst.leaf_vm.vcimtar == cp.dvh_state["vcimtar"]

@@ -1,0 +1,51 @@
+"""Tests for virtual idle (§3.4): HLT-exiting manipulation and policy."""
+
+from repro.core.features import DvhFeatures
+from repro.core.vidle import enable_virtual_idle, update_virtual_idle_policy
+from repro.hv.stack import StackConfig, build_stack
+
+
+def test_enable_clears_hlt_exiting_on_nested_vmcs():
+    stack = build_stack(StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()))
+    for vcpu in stack.leaf_vm.vcpus:
+        assert not vcpu.vmcs.controls.hlt_exiting
+
+
+def test_host_still_traps_hlt():
+    """§3.4: the host hypervisor keeps trapping HLT; the merged controls
+    OR with the host's."""
+    stack = build_stack(StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()))
+    leaf = stack.ctx(0)
+    from repro.hw.vmx import ExecControl
+
+    host = ExecControl()  # hlt_exiting True by default
+    leaf.merged_vmcs.merge_from(leaf.vmcs, host)
+    assert leaf.merged_vmcs.controls.hlt_exiting
+
+
+def test_policy_blocks_engagement_with_runnable_siblings():
+    stack = build_stack(StackConfig(levels=2, io_model="virtio"))
+    stack.hvs[1].other_runnable_guests = 1
+    assert not enable_virtual_idle(stack.hvs, stack.leaf_vm)
+    assert all(v.vmcs.controls.hlt_exiting for v in stack.leaf_vm.vcpus)
+
+
+def test_policy_reevaluation():
+    stack = build_stack(StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()))
+    hv1 = stack.hvs[1]
+    # A sibling becomes runnable: trapping comes back.
+    hv1.other_runnable_guests = 1
+    update_virtual_idle_policy(hv1, stack.leaf_vm)
+    assert all(v.vmcs.controls.hlt_exiting for v in stack.leaf_vm.vcpus)
+    # Sibling leaves: virtual idle re-engages.
+    hv1.other_runnable_guests = 0
+    update_virtual_idle_policy(hv1, stack.leaf_vm)
+    assert not any(v.vmcs.controls.hlt_exiting for v in stack.leaf_vm.vcpus)
+
+
+def test_virtual_idle_is_stateless_for_migration():
+    """§3.6: virtual idle introduces no state to migrate — it is purely
+    a control-bit configuration."""
+    stack = build_stack(StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()))
+    bits = [v.vmcs.controls.hlt_exiting for v in stack.leaf_vm.vcpus]
+    assert bits == [False] * len(bits)

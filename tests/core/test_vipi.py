@@ -1,0 +1,55 @@
+"""Tests for virtual IPIs (§3.3): VCIMT construction and registration."""
+
+from repro.core.features import DvhFeatures
+from repro.core.vipi import DEFAULT_VCIMT_BASE, setup_virtual_ipis
+from repro.hv.stack import StackConfig, build_stack
+from repro.hw.vmx import VCIMT_ENTRY_SIZE, VmcsField
+
+
+def test_setup_writes_table_into_manager_memory():
+    stack = build_stack(StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()))
+    leaf_vm = stack.leaf_vm
+    manager_vm = leaf_vm.manager.vm
+    for vcpu in leaf_vm.vcpus:
+        entry = manager_vm.memory.read(
+            DEFAULT_VCIMT_BASE + VCIMT_ENTRY_SIZE * vcpu.index
+        )
+        assert entry is vcpu
+
+
+def test_setup_programs_vcimtar_in_leaf_vmcs():
+    stack = build_stack(StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()))
+    for vcpu in stack.leaf_vm.vcpus:
+        assert vcpu.vmcs.read(VmcsField.VCIMTAR) == DEFAULT_VCIMT_BASE
+        assert vcpu.vmcs.controls.virtual_ipi_enable
+
+
+def test_setup_fails_without_capability():
+    stack = build_stack(StackConfig(levels=2, io_model="virtio"))
+    assert not setup_virtual_ipis(stack.hvs, stack.leaf_vm)
+    assert not stack.ctx(0).vmcs.controls.virtual_ipi_enable
+
+
+def test_setup_rejects_non_nested():
+    stack = build_stack(StackConfig(levels=1, io_model="virtio"))
+    assert not setup_virtual_ipis(stack.hvs, stack.vms[0])
+
+
+def test_recursive_enable_on_every_level():
+    stack = build_stack(StackConfig(levels=3, io_model="vp", dvh=DvhFeatures.full()))
+    for vm in stack.vms[1:]:
+        assert all(v.vmcs.controls.virtual_ipi_enable for v in vm.vcpus)
+    # The table for the leaf lives in ITS manager's memory (the L2 VM).
+    assert stack.leaf_vm.vcimtar == DEFAULT_VCIMT_BASE
+    entry = stack.vms[1].memory.read(DEFAULT_VCIMT_BASE)
+    assert entry is stack.ctx(0)
+
+
+def test_vcimtar_survives_merge():
+    """The merged VMCS carries the VCIMTAR so L0 can find the table."""
+    stack = build_stack(StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()))
+    leaf = stack.ctx(0)
+    from repro.hw.vmx import ExecControl
+
+    leaf.merged_vmcs.merge_from(leaf.vmcs, ExecControl())
+    assert leaf.merged_vmcs.read(VmcsField.VCIMTAR) == DEFAULT_VCIMT_BASE

@@ -1,0 +1,50 @@
+"""Tests for virtual timers (§3.2): discovery, enablement, save/restore."""
+
+from repro.core.features import DvhFeatures
+from repro.core.vtimer import (
+    enable_virtual_timers,
+    restore_virtual_timer,
+    save_virtual_timer,
+)
+from repro.hv.stack import StackConfig, build_stack
+from repro.hw.vmx import VmcsField
+
+
+def test_enable_requires_capability():
+    stack = build_stack(StackConfig(levels=2, io_model="virtio"))
+    # Host did not provide the capability: enabling fails.
+    assert not enable_virtual_timers(stack.hvs, stack.leaf_vm)
+    assert not stack.ctx(0).vmcs.controls.virtual_timer_enable
+
+
+def test_enable_sets_bit_on_all_levels():
+    stack = build_stack(StackConfig(levels=3, io_model="vp", dvh=DvhFeatures.full()))
+    for vm in stack.vms[1:]:
+        for vcpu in vm.vcpus:
+            assert vcpu.vmcs.controls.virtual_timer_enable
+
+
+def test_discovery_bit_visible_to_guest_hypervisor():
+    stack = build_stack(StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()))
+    assert stack.hvs[1].capability.virtual_timer
+
+
+def test_save_restore_roundtrip():
+    """§3.2: the guest hypervisor saves/restores the virtual timer when
+    switching nested VMs (and for migration, §3.6)."""
+    stack = build_stack(StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()))
+    vcpu = stack.ctx(0)
+    vcpu.lapic.arm_timer(123_456, vector=0xEC)
+    saved = save_virtual_timer(vcpu)
+    assert saved == 123_456
+    assert vcpu.vmcs.read(VmcsField.VIRTUAL_TIMER_DEADLINE) == 123_456
+    vcpu.lapic.disarm_timer()
+    restore_virtual_timer(vcpu)
+    assert vcpu.lapic.timer_deadline == 123_456
+
+
+def test_restore_with_no_saved_state_is_noop():
+    stack = build_stack(StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()))
+    vcpu = stack.ctx(0)
+    restore_virtual_timer(vcpu)
+    assert vcpu.lapic.timer_deadline is None

@@ -1,0 +1,104 @@
+"""Tests for guest-hypervisor scheduling of sibling nested VMs (§3.4)."""
+
+import pytest
+
+from repro.core.features import DvhFeatures
+from repro.core.vidle import enable_virtual_idle
+from repro.hv.scheduler import SiblingLoad, attach_sibling
+from repro.hv.stack import StackConfig, build_stack
+
+
+def make(dvh=None, io="virtio"):
+    stack = build_stack(
+        StackConfig(levels=2, io_model=io, dvh=dvh or DvhFeatures.none())
+    )
+    stack.settle()
+    return stack
+
+
+def idle_then_wake(stack, wake_after):
+    """Worker 0 goes idle; an interrupt arrives after ``wake_after``."""
+    ctx = stack.ctx(0)
+    stack.sim.call_after(
+        wake_after, lambda: (ctx.pi_desc.post(0x33), ctx.pcpu.wake())
+    )
+    got = {}
+
+    def guest():
+        got["vector"] = yield from ctx.wait_for_interrupt()
+        got["at"] = stack.sim.now
+
+    stack.sim.run_process(guest())
+    return got
+
+
+def test_sibling_runs_while_primary_idles():
+    stack = make()
+    load = attach_sibling(stack, total_work=500_000, quantum=50_000)
+    assert load.progress == 0
+    idle_then_wake(stack, wake_after=2_000_000)
+    assert load.progress > 0
+
+
+def test_sibling_quantum_bounded_preemption():
+    """The idle VM resumes promptly once its interrupt arrives — at most
+    one quantum late (the scheduler checks between quanta)."""
+    stack = make()
+    attach_sibling(stack, total_work=50_000_000, quantum=40_000)
+    wake_after = 500_000
+    got = idle_then_wake(stack, wake_after=wake_after)
+    assert got["vector"] == 0x33
+    # Resumed within ~one quantum + switch costs of the wake.
+    assert got["at"] - wake_after < 150_000
+
+
+def test_sibling_finishes_and_policy_reengages():
+    stack = make(dvh=DvhFeatures.full(), io="vp")
+    hv1 = stack.hvs[1]
+    load = attach_sibling(stack, total_work=200_000, quantum=50_000)
+    # With a runnable sibling the §3.4 policy disengaged virtual idle.
+    assert all(v.vmcs.controls.hlt_exiting for v in stack.leaf_vm.vcpus)
+    idle_then_wake(stack, wake_after=3_000_000)
+    assert load.done
+    assert hv1.other_runnable_guests == 0
+    # Policy re-engaged: HLT no longer traps to the guest hypervisor.
+    assert not any(v.vmcs.controls.hlt_exiting for v in stack.leaf_vm.vcpus)
+
+
+def test_wrongly_engaged_virtual_idle_starves_sibling():
+    """The paper's warning made concrete: if virtual idle stays engaged
+    while a sibling is runnable, the HLT bypasses the guest hypervisor
+    and the sibling never runs."""
+    stack = make(dvh=DvhFeatures.full(), io="vp")
+    load = attach_sibling(stack, total_work=500_000)
+    # Force virtual idle back ON despite the runnable sibling.
+    for vcpu in stack.leaf_vm.vcpus:
+        vcpu.vmcs.controls.hlt_exiting = False
+    idle_then_wake(stack, wake_after=2_000_000)
+    assert load.progress == 0  # starved
+
+
+def test_switch_uses_virtual_timer_save_restore():
+    """Nested-VM switches save/restore the virtual timer (§3.2)."""
+    from repro.hw.vmx import VmcsField
+
+    stack = make(dvh=DvhFeatures.full(), io="vp")
+    attach_sibling(stack, total_work=300_000)
+    ctx = stack.ctx(0)
+    ctx.lapic.arm_timer(99_999_999)
+    idle_then_wake(stack, wake_after=1_000_000)
+    assert ctx.vmcs.read(VmcsField.VIRTUAL_TIMER_DEADLINE) == 99_999_999
+
+
+def test_scheduler_counts_switches():
+    stack = make()
+    attach_sibling(stack, total_work=400_000, quantum=100_000)
+    idle_then_wake(stack, wake_after=3_000_000)
+    assert stack.hvs[1].scheduler.switches == 4  # 400K / 100K quanta
+
+
+def test_sibling_work_charged_to_metrics():
+    stack = make()
+    attach_sibling(stack, total_work=300_000)
+    idle_then_wake(stack, wake_after=2_000_000)
+    assert stack.metrics.cycles["sibling_work"] == 300_000

@@ -1,0 +1,86 @@
+"""Tests for the two timer-emulation backends (§3.2) and the
+virtual-timer delivery optimization."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.features import DvhFeatures
+from repro.hv.stack import StackConfig, build_stack
+from repro.hw.lapic import TIMER_VECTOR
+
+
+def fire_timer_latency(stack, delay=200_000):
+    """Arm a timer and measure arm-to-delivery latency on worker 0."""
+    stack.settle()
+    ctx = stack.ctx(0)
+    got = {}
+
+    def guest():
+        start = stack.sim.now
+        yield from ctx.program_timer(ctx.read_tsc() + delay, TIMER_VECTOR)
+        got["vector"] = yield from ctx.wait_for_interrupt()
+        got["latency"] = stack.sim.now - start - delay
+
+    stack.sim.run_process(guest())
+    assert got["vector"] == TIMER_VECTOR
+    return got["latency"]
+
+
+def test_bad_backend_rejected():
+    with pytest.raises(ValueError, match="timer_backend"):
+        build_stack(StackConfig(levels=1, timer_backend="tsc"))
+
+
+def test_both_backends_fire_correctly():
+    for backend in ("hrtimer", "preemption"):
+        stack = build_stack(StackConfig(levels=1, timer_backend=backend))
+        assert fire_timer_latency(stack) >= 0
+
+
+def test_preemption_timer_records_exit():
+    stack = build_stack(StackConfig(levels=1, timer_backend="preemption"))
+    fire_timer_latency(stack)
+    assert stack.metrics.exits_for_reason("preemption_timer") >= 1
+
+
+def test_hrtimer_records_no_preemption_exit():
+    stack = build_stack(StackConfig(levels=1, timer_backend="hrtimer"))
+    fire_timer_latency(stack)
+    assert stack.metrics.exits_for_reason("preemption_timer") == 0
+
+
+def test_vtimer_direct_delivery_is_faster():
+    """§3.2: posting the expiry straight to the nested VM beats routing
+    it through the guest hypervisor."""
+    direct = build_stack(
+        StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full())
+    )
+    indirect = build_stack(
+        StackConfig(
+            levels=2,
+            io_model="vp",
+            dvh=DvhFeatures.full().with_(vtimer_direct_delivery=False),
+        )
+    )
+    lat_direct = fire_timer_latency(direct)
+    lat_indirect = fire_timer_latency(indirect)
+    assert lat_indirect > lat_direct + 5_000
+    assert direct.metrics.interrupts[("timer", "posted")] >= 1
+    assert indirect.metrics.interrupts[("timer", "injected")] >= 1
+
+
+def test_direct_delivery_flag_does_not_affect_programming_cost():
+    from repro.workloads.microbench import run_microbenchmark
+
+    a = build_stack(StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full()))
+    b = build_stack(
+        StackConfig(
+            levels=2,
+            io_model="vp",
+            dvh=DvhFeatures.full().with_(vtimer_direct_delivery=False),
+        )
+    )
+    assert run_microbenchmark(a, "ProgramTimer", 10) == run_microbenchmark(
+        b, "ProgramTimer", 10
+    )

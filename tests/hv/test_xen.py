@@ -1,0 +1,72 @@
+"""Tests for the Xen guest-hypervisor flavour (Figure 10)."""
+
+from repro.hv.kvm import KvmHypervisor
+from repro.hv.stack import StackConfig, build_stack
+from repro.hv.xen import XenHypervisor
+from repro.hw.ops import ExitReason, Op
+from repro.workloads.microbench import run_microbenchmark
+
+
+def test_xen_op_counts_heavier_than_kvm():
+    for reason in ExitReason:
+        if reason not in KvmHypervisor.OP_COUNTS:
+            continue
+        kr, kw = KvmHypervisor.OP_COUNTS[reason]
+        xr, xw = XenHypervisor.OP_COUNTS[reason]
+        assert xr > kr and xw > kw
+
+
+def test_xen_nested_exits_cost_more():
+    kvm = build_stack(StackConfig(levels=2, guest_hv="kvm"))
+    xen = build_stack(StackConfig(levels=2, guest_hv="xen"))
+    kvm_cost = run_microbenchmark(kvm, "Hypercall", 20)
+    xen_cost = run_microbenchmark(xen, "Hypercall", 20)
+    assert xen_cost > kvm_cost * 1.2
+
+
+def test_xen_io_notification_adds_event_channel_hypercall():
+    """The split-driver model costs an extra evtchn hypercall per
+    notification."""
+    kvm = build_stack(StackConfig(levels=2, guest_hv="kvm"))
+    xen = build_stack(StackConfig(levels=2, guest_hv="xen"))
+    results = {}
+    for name, stack in (("kvm", kvm), ("xen", xen)):
+        stack.settle()
+        ctx = stack.ctx(0)
+        device = stack.net.device
+        before = stack.metrics.copy()
+
+        def kick(ctx=ctx, device=device):
+            yield from ctx.execute(
+                Op.MMIO_WRITE, addr=device.notify_addr, value=1, device=device
+            )
+
+        stack.sim.run_process(kick())
+        results[name] = stack.metrics.diff(before)
+    assert results["xen"].exits_for_reason("vmcall") > results[
+        "kvm"
+    ].exits_for_reason("vmcall")
+
+
+def test_xen_works_with_virtual_passthrough_unmodified():
+    """§3.1/§4: virtual-passthrough is hypervisor agnostic — assigning an
+    L0 virtio device under a Xen guest hypervisor removes its
+    interventions with zero Xen-side changes."""
+    from repro.core.features import DvhFeatures
+
+    stack = build_stack(
+        StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.vp_only(), guest_hv="xen")
+    )
+    stack.settle()
+    ctx = stack.ctx(0)
+    device = stack.net.device
+    before = stack.metrics.copy()
+
+    def kick():
+        yield from ctx.execute(
+            Op.MMIO_WRITE, addr=device.notify_addr, value=1, device=device
+        )
+
+    stack.sim.run_process(kick())
+    delta = stack.metrics.diff(before)
+    assert delta.guest_hv_interventions() == 0

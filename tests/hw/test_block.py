@@ -1,0 +1,39 @@
+"""Unit tests for the SSD model."""
+
+from repro.hw.devices.block import BlockRequest, SsdDevice
+from repro.sim import Simulator, default_costs
+
+
+def test_request_completes_after_latency():
+    sim = Simulator()
+    costs = default_costs()
+    ssd = SsdDevice("ssd0", sim, costs)
+    done = []
+    req = BlockRequest("read", 4096)
+    ssd.submit(req, lambda r: done.append(sim.now))
+    sim.run()
+    assert len(done) == 1
+    assert done[0] >= costs.ssd_latency
+
+
+def test_flush_has_no_transfer_component():
+    sim = Simulator()
+    costs = default_costs()
+    ssd = SsdDevice("ssd0", sim, costs)
+    times = {}
+    ssd.submit(BlockRequest("flush", 0), lambda r: times.setdefault("flush", sim.now))
+    sim.run()
+    assert times["flush"] == costs.ssd_latency
+
+
+def test_requests_serialize():
+    sim = Simulator()
+    costs = default_costs()
+    ssd = SsdDevice("ssd0", sim, costs)
+    done = []
+    for _ in range(3):
+        ssd.submit(BlockRequest("write", 4096), lambda r: done.append(sim.now))
+    sim.run()
+    assert done[0] < done[1] < done[2]
+    # Second starts only after first completes.
+    assert done[1] - done[0] >= costs.ssd_latency

@@ -1,0 +1,124 @@
+"""Unit tests for physical CPUs and native (bare-metal) execution."""
+
+import pytest
+
+from repro.hw.cpu import PhysicalCpu
+from repro.hw.machine import Machine
+from repro.hw.ops import Op
+from repro.sim import Simulator
+
+
+def test_pcpu_tsc_advances_with_offset():
+    sim = Simulator()
+    cpu = PhysicalCpu(3, sim, tsc_boot_offset=21)
+    assert cpu.tsc == 21
+    sim.now = 1000
+    assert cpu.tsc == 1021
+
+
+def test_pcpu_block_wake_cycle():
+    sim = Simulator()
+    cpu = PhysicalCpu(0, sim)
+    assert not cpu.halted
+    ev = cpu.block()
+    assert cpu.halted
+    assert cpu.wake()
+    assert not cpu.halted
+    assert ev.triggered
+    assert not cpu.wake()  # second wake is a no-op
+
+
+def test_double_block_rejected():
+    sim = Simulator()
+    cpu = PhysicalCpu(0, sim)
+    cpu.block()
+    with pytest.raises(RuntimeError):
+        cpu.block()
+
+
+def test_native_compute_charges_time():
+    m = Machine(num_cpus=4)
+    ctx = m.native_contexts(1)[0]
+
+    def work():
+        yield from ctx.compute(5000)
+
+    m.sim.run_process(work())
+    assert m.sim.now == 5000
+    assert m.metrics.cycles["guest_work"] == 5000
+
+
+def test_native_ops_never_trap():
+    m = Machine(num_cpus=4)
+    ctx = m.native_contexts(1)[0]
+
+    def work():
+        yield from ctx.execute(Op.WRMSR, msr=0x6E0)
+        yield from ctx.execute(Op.HLT)
+
+    m.sim.run_process(work())
+    assert m.metrics.total_exits() == 0
+
+
+def test_native_timer_fires_and_wakes():
+    m = Machine(num_cpus=4)
+    ctx = m.native_contexts(1)[0]
+    log = {}
+
+    def sleeper():
+        deadline = ctx.read_tsc() + 10_000
+        yield from ctx.program_timer(deadline)
+        vector = yield from ctx.wait_for_interrupt()
+        log["woke_at"] = m.sim.now
+        log["vector"] = vector
+
+    m.sim.run_process(sleeper())
+    assert log["vector"] == 0xEC
+    assert log["woke_at"] >= 10_000
+    assert log["woke_at"] < 12_000  # small native wake cost only
+
+
+def test_native_ipi_between_cpus():
+    m = Machine(num_cpus=4)
+    ctx0, ctx1 = m.native_contexts(2)
+    log = {}
+
+    def receiver():
+        vector = yield from ctx1.wait_for_interrupt()
+        log["vector"] = vector
+        log["at"] = m.sim.now
+
+    def sender():
+        yield from ctx0.compute(1000)
+        yield from ctx0.send_ipi(1, 0xFD)
+
+    m.sim.spawn(receiver(), "rx")
+    m.sim.spawn(sender(), "tx")
+    m.sim.run()
+    assert log["vector"] == 0xFD
+    assert log["at"] >= 1000
+    assert m.metrics.interrupts[("native", "direct")] == 1
+
+
+def test_native_wait_with_already_pending_interrupt():
+    m = Machine(num_cpus=4)
+    ctx = m.native_contexts(1)[0]
+    ctx.lapic.set_irr(0x55)
+
+    def work():
+        return (yield from ctx.wait_for_interrupt())
+
+    assert m.sim.run_process(work()) == 0x55
+
+
+def test_native_contexts_bounded_by_cpus():
+    m = Machine(num_cpus=2)
+    with pytest.raises(ValueError):
+        m.native_contexts(3)
+
+
+def test_mem_write_marks_host_pages():
+    m = Machine(num_cpus=2)
+    ctx = m.native_contexts(1)[0]
+    ctx.mem_write(0x12345, 10)
+    assert 0x12 in m.memory.touched_pages

@@ -1,0 +1,82 @@
+"""Unit tests for the local APIC model."""
+
+import pytest
+
+from repro.hw.lapic import TIMER_VECTOR, Lapic
+
+
+def test_irr_latch_and_ack():
+    apic = Lapic(0)
+    assert not apic.has_pending()
+    apic.set_irr(0x40)
+    assert apic.has_pending()
+    assert apic.ack() == 0x40
+    assert not apic.has_pending()
+    assert apic.isr == [0x40]
+
+
+def test_ack_returns_highest_priority():
+    apic = Lapic(0)
+    apic.set_irr(0x40)
+    apic.set_irr(0xEC)
+    apic.set_irr(0x80)
+    assert apic.ack() == 0xEC
+    assert apic.ack() == 0x80
+    assert apic.ack() == 0x40
+    assert apic.ack() is None
+
+
+def test_duplicate_vector_collapses():
+    apic = Lapic(0)
+    apic.set_irr(0x40)
+    apic.set_irr(0x40)
+    assert apic.ack() == 0x40
+    assert apic.ack() is None
+
+
+def test_bad_vector_rejected():
+    apic = Lapic(0)
+    with pytest.raises(ValueError):
+        apic.set_irr(0x100)
+    with pytest.raises(ValueError):
+        apic.set_irr(-1)
+
+
+def test_eoi_pops_in_service():
+    apic = Lapic(0)
+    apic.set_irr(0x40)
+    apic.ack()
+    assert apic.eoi() == 0x40
+    assert apic.eoi() is None
+    assert apic.isr == []
+
+
+def test_timer_arm_fire_cycle():
+    apic = Lapic(0)
+    apic.arm_timer(123456, vector=0xEC)
+    assert apic.timer_deadline == 123456
+    apic.fire_timer()
+    assert apic.timer_deadline is None
+    assert apic.ack() == 0xEC
+
+
+def test_timer_disarm():
+    apic = Lapic(0)
+    apic.arm_timer(100)
+    apic.disarm_timer()
+    assert apic.timer_deadline is None
+
+
+def test_default_timer_vector():
+    apic = Lapic(0)
+    apic.arm_timer(10)
+    apic.fire_timer()
+    assert apic.ack() == TIMER_VECTOR
+
+
+def test_wake_callback_on_irr():
+    apic = Lapic(0)
+    woken = []
+    apic.on_wake(lambda: woken.append(True))
+    apic.set_irr(0x20)
+    assert woken == [True]

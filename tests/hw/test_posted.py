@@ -1,0 +1,48 @@
+"""Unit tests for posted-interrupt descriptors."""
+
+import pytest
+
+from repro.hw.lapic import Lapic
+from repro.hw.posted import PiDescriptor
+
+
+def test_post_sets_on_and_requests_notification():
+    pid = PiDescriptor("vcpu0")
+    assert pid.post(0x40) is True  # first post: notify
+    assert pid.on
+    assert pid.post(0x41) is False  # ON already set: no second IPI
+    assert pid.pir == {0x40, 0x41}
+
+
+def test_suppressed_notification():
+    pid = PiDescriptor()
+    pid.sn = True  # vCPU not running
+    assert pid.post(0x40) is False
+    assert not pid.on
+    assert pid.has_pending
+
+
+def test_sync_moves_pir_to_irr():
+    pid = PiDescriptor()
+    apic = Lapic(0)
+    pid.post(0x40)
+    pid.post(0xEC)
+    moved = pid.sync_to(apic)
+    assert moved == 2
+    assert apic.irr == {0x40, 0xEC}
+    assert not pid.has_pending
+    assert not pid.on
+
+
+def test_post_after_sync_notifies_again():
+    pid = PiDescriptor()
+    apic = Lapic(0)
+    pid.post(0x40)
+    pid.sync_to(apic)
+    assert pid.post(0x41) is True
+
+
+def test_bad_vector_rejected():
+    pid = PiDescriptor()
+    with pytest.raises(ValueError):
+        pid.post(999)

@@ -1,0 +1,108 @@
+"""Unit tests for VMCS structures, controls, and merging."""
+
+from repro.hw.vmx import (
+    SHADOWED_FIELDS,
+    ExecControl,
+    Vmcs,
+    VmcsField,
+    VmxCapability,
+)
+
+
+def test_field_read_write():
+    vmcs = Vmcs(owner_level=0)
+    vmcs.write(VmcsField.GUEST_RIP, 0xFFF0)
+    assert vmcs.read(VmcsField.GUEST_RIP) == 0xFFF0
+    assert vmcs.read(VmcsField.GUEST_RSP) == 0
+
+
+def test_dvh_capability_bits_default_off():
+    cap = VmxCapability()
+    assert not cap.virtual_timer
+    assert not cap.virtual_ipi
+    assert cap.vmx and cap.ept and cap.vmcs_shadowing
+
+
+def test_capability_copy_is_independent():
+    cap = VmxCapability()
+    clone = cap.copy()
+    clone.virtual_timer = True
+    assert not cap.virtual_timer
+
+
+def test_exec_control_defaults():
+    ctl = ExecControl()
+    assert ctl.hlt_exiting  # hypervisors trap HLT by default (§3.4)
+    assert not ctl.virtual_timer_enable
+    assert not ctl.virtual_ipi_enable
+
+
+def test_shadowing_covers_exit_info_fields():
+    assert VmcsField.EXIT_REASON in SHADOWED_FIELDS
+    assert VmcsField.GUEST_RIP in SHADOWED_FIELDS
+    # Control fields are NOT shadowed: writing them must trap.
+    assert VmcsField.PROC_CONTROLS not in SHADOWED_FIELDS
+    assert VmcsField.TSC_OFFSET not in SHADOWED_FIELDS
+
+
+def test_is_shadowed_requires_enablement():
+    vmcs12 = Vmcs(owner_level=1)
+    assert not vmcs12.is_shadowed(VmcsField.EXIT_REASON)
+    vmcs12.controls.shadow_vmcs = True
+    assert vmcs12.is_shadowed(VmcsField.EXIT_REASON)
+    assert not vmcs12.is_shadowed(VmcsField.TSC_OFFSET)
+
+
+def test_merge_combines_tsc_offsets():
+    """§3.2: the host combines the guest hypervisor's TSC offset for its
+    guest with its own offset for the guest hypervisor."""
+    vmcs02 = Vmcs(owner_level=0)
+    vmcs02.set_base_tsc_offset(-1000)  # L0's offset for L1
+    vmcs12 = Vmcs(owner_level=1)
+    vmcs12.write(VmcsField.TSC_OFFSET, -70)  # L1's offset for L2
+    vmcs02.merge_from(vmcs12, host_controls=ExecControl())
+    assert vmcs02.read(VmcsField.TSC_OFFSET) == -1070
+
+
+def test_merge_hlt_exiting_or_semantics():
+    """The merged VMCS traps HLT if either level wants it — the knob
+    virtual idle manipulates (§3.4)."""
+    host = ExecControl()
+    host.hlt_exiting = True
+    vmcs12 = Vmcs(owner_level=1)
+    vmcs12.controls.hlt_exiting = False
+    merged = Vmcs(owner_level=0)
+    merged.merge_from(vmcs12, host)
+    assert merged.controls.hlt_exiting  # host still wants the trap
+
+    host.hlt_exiting = False
+    merged.merge_from(vmcs12, host)
+    assert not merged.controls.hlt_exiting
+
+
+def test_merge_carries_dvh_enable_bits_and_guest_fields():
+    vmcs12 = Vmcs(owner_level=1)
+    vmcs12.controls.virtual_timer_enable = True
+    vmcs12.controls.virtual_ipi_enable = True
+    vmcs12.write(VmcsField.VCIMTAR, 0xABC000)
+    vmcs12.write(VmcsField.VIRTUAL_TIMER_VECTOR, 0xEC)
+    merged = Vmcs(owner_level=0)
+    merged.merge_from(vmcs12, ExecControl())
+    assert merged.controls.virtual_timer_enable
+    assert merged.controls.virtual_ipi_enable
+    assert merged.read(VmcsField.VCIMTAR) == 0xABC000
+    assert merged.read(VmcsField.VIRTUAL_TIMER_VECTOR) == 0xEC
+
+
+def test_merge_posted_interrupts_requires_both_levels():
+    host = ExecControl()
+    host.posted_interrupts = True
+    host.apicv = True
+    vmcs12 = Vmcs(owner_level=1)
+    vmcs12.controls.posted_interrupts = False
+    merged = Vmcs(owner_level=0)
+    merged.merge_from(vmcs12, host)
+    assert not merged.controls.posted_interrupts
+    vmcs12.controls.posted_interrupts = True
+    merged.merge_from(vmcs12, host)
+    assert merged.controls.posted_interrupts

@@ -1,0 +1,77 @@
+"""Integration: exact exit-count invariants for each DVH mechanism.
+
+These pin down the *mechanism* (not just the cycle cost): how many
+hardware exits and guest-hypervisor interventions each operation causes.
+"""
+
+from repro.core.features import DvhFeatures
+from repro.hv.stack import StackConfig, build_stack
+from repro.hw.ops import Op
+
+
+def run_one(levels, dvh, op):
+    io = "vp" if (dvh.virtual_passthrough and levels >= 2) else "virtio"
+    stack = build_stack(StackConfig(levels=levels, io_model=io, dvh=dvh))
+    stack.settle()
+    ctx = stack.ctx(0)
+    before = stack.metrics.copy()
+    done = {}
+
+    def gen():
+        if op == "timer":
+            yield from ctx.program_timer(ctx.read_tsc() + 10**9)
+        elif op == "ipi":
+            yield from ctx.send_ipi(1, 0xFD)
+        elif op == "kick":
+            device = stack.net.device
+            yield from ctx.execute(
+                Op.MMIO_WRITE, addr=device.notify_addr, value=1, device=device
+            )
+        done["delta"] = stack.metrics.diff(before)
+
+    stack.sim.run_process(gen())
+    return done["delta"]
+
+
+def test_dvh_timer_is_one_exit_zero_interventions_any_level():
+    for levels in (2, 3):
+        delta = run_one(levels, DvhFeatures.full(), "timer")
+        assert delta.total_exits() == 1
+        assert delta.guest_hv_interventions() == 0
+
+
+def test_dvh_ipi_send_is_one_exit():
+    for levels in (2, 3):
+        delta = run_one(levels, DvhFeatures.full(), "ipi")
+        assert delta.exits_for_reason("apic_icr") == 1
+        assert delta.guest_hv_interventions() == 0
+
+
+def test_dvh_vp_kick_is_one_exit():
+    for levels in (2, 3):
+        delta = run_one(levels, DvhFeatures.full(), "kick")
+        assert delta.total_exits() == 1
+        assert delta.guest_hv_interventions() == 0
+
+
+def test_without_dvh_nested_ops_multiply():
+    for op in ("timer", "ipi", "kick"):
+        delta = run_one(2, DvhFeatures.none(), op)
+        assert delta.guest_hv_interventions() == 1
+        # Exit multiplication: the one forwarded exit begat many more.
+        assert delta.total_exits() > 10
+
+
+def test_l3_multiplication_squares():
+    timer_l2 = run_one(2, DvhFeatures.none(), "timer").total_exits()
+    timer_l3 = run_one(3, DvhFeatures.none(), "timer").total_exits()
+    assert timer_l3 > 8 * timer_l2
+
+
+def test_dvh_trades_guest_exits_for_host_exits():
+    """§3: "DVH therefore trades exits to guest hypervisors for exits to
+    the host hypervisor" — the exit still happens, it just terminates at
+    L0."""
+    dvh = run_one(2, DvhFeatures.full(), "timer")
+    assert dvh.total_exits() == 1  # still one exit...
+    assert dvh.l0_handled["apic_timer"] == 1  # ...handled by the host

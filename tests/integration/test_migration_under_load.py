@@ -1,0 +1,87 @@
+"""Integration: live-migrate a nested VM while its workload runs.
+
+The paper's migration experiment runs the application workloads during
+migration (§4).  These tests check the interposition story end to end:
+the workload keeps completing transactions, the device dirty log feeds
+the pre-copy rounds, and the stop-and-copy pause shows up as a latency
+tail but loses nothing.
+"""
+
+import dataclasses
+
+from repro.core.features import DvhFeatures
+from repro.core.migration import LiveMigration
+from repro.hv.stack import StackConfig, build_stack
+from repro.workloads import apps
+from repro.workloads.engines import run_rr
+
+
+def make():
+    stack = build_stack(
+        StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full())
+    )
+    stack.settle()
+    return stack
+
+
+def quiet_migration_bytes(bandwidth_bps: float) -> int:
+    stack = make()
+    res = stack.sim.run_process(
+        LiveMigration(
+            stack.machine,
+            stack.leaf_vm,
+            devices=[stack.net.device],
+            bandwidth_bps=bandwidth_bps,
+        ).run()
+    )
+    return res.bytes_transferred
+
+
+def test_memcached_survives_migration():
+    bandwidth = 20e9
+    stack = make()
+    migration = LiveMigration(
+        stack.machine,
+        stack.leaf_vm,
+        devices=[stack.net.device],
+        bandwidth_bps=bandwidth,
+    )
+    holder = {}
+    stack.sim.call_after(1_000, lambda: holder.setdefault(
+        "proc", stack.sim.spawn(migration.run(), "migration")
+    ))
+    spec = dataclasses.replace(apps.MEMCACHED, txns=300)
+    result = run_rr(stack, spec, settle=False)
+    stack.sim.run()  # let the migration finish if it outlived the load
+    assert result.txns == 300  # every transaction completed
+    mig_proc = holder["proc"]
+    assert mig_proc.done
+    res = mig_proc.result
+    assert res.downtime_s <= migration.downtime_target_s + 0.01
+    # The workload's DMA traffic showed up in the logs: the live
+    # migration moved more bytes than a quiet one at the same bandwidth.
+    assert res.bytes_transferred > quiet_migration_bytes(bandwidth)
+
+
+def test_workload_latency_tail_shows_stop_and_copy():
+    stack = make()
+    migration = LiveMigration(
+        stack.machine,
+        stack.leaf_vm,
+        devices=[stack.net.device],
+        bandwidth_bps=60e9,  # migration completes inside the workload
+    )
+    backend = stack.machine.host_hv.backends[stack.net.device]
+    holder = {}
+    stack.sim.call_after(1_000, lambda: holder.setdefault(
+        "proc", stack.sim.spawn(migration.run(), "migration")
+    ))
+    spec = dataclasses.replace(apps.NETPERF_RR, txns=200)
+    result = run_rr(stack, spec, settle=False)
+    stack.sim.run()
+    assert result.txns == 200  # nothing lost across the pause
+    assert holder["proc"].done
+    assert backend.paused is False  # resumed after switch-over
+    # The pause is visible as a latency tail.
+    ordered = sorted(result.latencies)
+    assert ordered[-1] > 3 * ordered[len(ordered) // 2]

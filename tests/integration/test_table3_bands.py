@@ -1,0 +1,58 @@
+"""Integration: the emergent microbenchmark costs land within loose
+bands of the paper's Table 3 (the calibration contract of DESIGN.md).
+
+These are *not* tight assertions on absolute numbers — the substrate is
+a simulator — but each cell must land within 2x of the paper's value,
+and all the paper's orderings must hold.
+"""
+
+import pytest
+
+from repro.bench.tables import PAPER_TABLE3
+from repro.core.features import DvhFeatures
+from repro.hv.stack import StackConfig, build_stack
+from repro.workloads.microbench import run_microbenchmark
+
+CONFIGS = {
+    "VM": (1, DvhFeatures.none()),
+    "nested VM": (2, DvhFeatures.none()),
+    "nested VM + DVH": (2, DvhFeatures.full()),
+    "L3 VM": (3, DvhFeatures.none()),
+    "L3 VM + DVH": (3, DvhFeatures.full()),
+}
+
+
+def measure(config_name: str, bench: str) -> float:
+    levels, dvh = CONFIGS[config_name]
+    io = "vp" if (dvh.virtual_passthrough and levels >= 2) else "virtio"
+    stack = build_stack(StackConfig(levels=levels, io_model=io, dvh=dvh))
+    return run_microbenchmark(stack, bench, 20)
+
+
+@pytest.mark.parametrize("bench", sorted(PAPER_TABLE3))
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_cell_within_2x_of_paper(bench, config):
+    measured = measure(config, bench)
+    paper = PAPER_TABLE3[bench][config]
+    assert paper / 2 <= measured <= paper * 2, (
+        f"{bench}/{config}: measured {measured:,.0f}, paper {paper:,}"
+    )
+
+
+def test_per_level_multiplication_factor():
+    """Each nesting level multiplies hypercall cost by roughly the same
+    ~20x factor (§2's exit multiplication; Table 3 shows 24x and 23x)."""
+    vm = measure("VM", "Hypercall")
+    l2 = measure("nested VM", "Hypercall")
+    l3 = measure("L3 VM", "Hypercall")
+    assert 12 <= l2 / vm <= 35
+    assert 12 <= l3 / l2 <= 35
+
+
+def test_dvh_flat_across_levels():
+    """§4: DVH gives similar cost for L2 and L3 — exit multiplication is
+    gone for DVH-covered operations."""
+    for bench in ("DevNotify", "ProgramTimer", "SendIPI"):
+        l2 = measure("nested VM + DVH", bench)
+        l3 = measure("L3 VM + DVH", bench)
+        assert l3 / l2 < 1.6

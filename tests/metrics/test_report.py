@@ -1,0 +1,78 @@
+"""Tests for metrics reports."""
+
+from repro.metrics import Metrics
+from repro.metrics.report import (
+    cycle_report,
+    exit_report,
+    full_report,
+    interrupt_report,
+    intervention_summary,
+)
+
+
+def sample_metrics() -> Metrics:
+    m = Metrics()
+    m.record_exit(2, "vmcall")
+    m.record_exit(1, "vmx", count=17)
+    m.record_forward(2, "vmcall", 1)
+    m.record_l0_handled("apic_timer", dvh=True)
+    m.record_exit(2, "apic_timer")
+    m.record_interrupt("timer", "posted")
+    m.record_interrupt("virtio", "injected")
+    m.charge("guest_work", 10_000)
+    m.charge("l0_emul", 5_000)
+    return m
+
+
+def test_exit_report_contains_levels_and_totals():
+    text = exit_report(sample_metrics())
+    assert "from L1" in text and "from L2" in text
+    assert "vmcall" in text
+    assert "TOTAL" in text
+    assert "forwarded" in text
+
+
+def test_cycle_report_shares_sum_to_100():
+    text = cycle_report(sample_metrics())
+    assert "guest_work" in text
+    assert "%" in text
+
+
+def test_cycle_report_with_frequency_shows_time():
+    text = cycle_report(sample_metrics(), freq_hz=2_200_000_000)
+    assert "ms" in text
+
+
+def test_interrupt_report():
+    text = interrupt_report(sample_metrics())
+    assert "posted" in text and "injected" in text
+
+
+def test_intervention_summary_math():
+    s = intervention_summary(sample_metrics())
+    assert s["hardware_exits"] == 19
+    assert s["guest_hv_interventions"] == 1
+    assert s["dvh_handled"] == 1
+    assert s["intervention_ratio"] == 1 / 19
+
+
+def test_intervention_summary_empty_metrics():
+    s = intervention_summary(Metrics())
+    assert s["intervention_ratio"] == 0.0
+
+
+def test_full_report_combines_everything():
+    text = full_report(sample_metrics(), freq_hz=2_200_000_000)
+    assert "Hardware exits" in text
+    assert "Cycle attribution" in text
+    assert "Interrupt deliveries" in text
+    assert "handled by DVH" in text
+
+
+def test_metrics_diff_and_copy():
+    m = sample_metrics()
+    snap = m.copy()
+    m.record_exit(2, "vmcall")
+    delta = m.diff(snap)
+    assert delta.exits[(2, "vmcall")] == 1
+    assert delta.exits.get((1, "vmx"), 0) == 0

@@ -1,0 +1,68 @@
+"""Property tests on the cost model and emergent cost structure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import DvhFeatures
+from repro.hv.stack import StackConfig, build_stack
+from repro.sim import default_costs
+
+
+@given(st.floats(min_value=1.1, max_value=4.0))
+@settings(max_examples=10, deadline=None)
+def test_hypercall_cost_scales_with_world_switch_price(factor):
+    """Monotonicity: making hardware world switches more expensive can
+    only increase the emergent microbenchmark cost, at every level."""
+    from repro.workloads.microbench import run_microbenchmark
+
+    def measure(scale):
+        costs = default_costs().scaled(
+            hw_exit=int(default_costs().hw_exit * scale),
+            hw_entry=int(default_costs().hw_entry * scale),
+        )
+        stack = build_stack(StackConfig(levels=2))
+        stack.machine.costs = costs
+        # Rebind: the cost model is read through machine.costs everywhere.
+        return run_microbenchmark(stack, "Hypercall", 10)
+
+    assert measure(factor) > measure(1.0)
+
+
+@settings(max_examples=8, deadline=None)
+@given(levels=st.sampled_from([1, 2, 3]))
+def test_more_levels_never_cheaper(levels):
+    from repro.workloads.microbench import run_microbenchmark
+
+    costs = {}
+    for lv in range(1, levels + 1):
+        stack = build_stack(StackConfig(levels=lv))
+        costs[lv] = run_microbenchmark(stack, "Hypercall", 10)
+    for lv in range(2, levels + 1):
+        assert costs[lv] > costs[lv - 1]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    timer=st.booleans(),
+    ipi=st.booleans(),
+    idle=st.booleans(),
+)
+def test_dvh_features_never_hurt_their_own_microbenchmark(timer, ipi, idle):
+    """Any combination of DVH mechanisms leaves the corresponding
+    microbenchmark no worse than vanilla nested virtualization."""
+    from repro.workloads.microbench import run_microbenchmark
+
+    dvh = DvhFeatures.none().with_(
+        virtual_timer=timer, virtual_ipi=ipi, virtual_idle=idle
+    )
+    base = build_stack(StackConfig(levels=2))
+    with_dvh = build_stack(StackConfig(levels=2, dvh=dvh))
+    for bench, flag in (("ProgramTimer", timer), ("SendIPI", ipi)):
+        cost_base = run_microbenchmark(base, bench, 8)
+        cost_dvh = run_microbenchmark(with_dvh, bench, 8)
+        if flag:
+            assert cost_dvh < cost_base
+        else:
+            assert cost_dvh < cost_base * 1.1  # never meaningfully worse
+        base = build_stack(StackConfig(levels=2))
+        with_dvh = build_stack(StackConfig(levels=2, dvh=dvh))

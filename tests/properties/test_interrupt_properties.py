@@ -1,0 +1,64 @@
+"""Property tests for LAPIC and posted-interrupt state machines."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw.lapic import Lapic
+from repro.hw.posted import PiDescriptor
+
+vectors = st.integers(min_value=0x20, max_value=0xFE)
+
+
+@given(st.lists(vectors, min_size=1, max_size=60))
+def test_lapic_delivers_every_distinct_vector_once(vs):
+    apic = Lapic(0)
+    for v in vs:
+        apic.set_irr(v)
+    delivered = []
+    while apic.has_pending():
+        delivered.append(apic.ack())
+    assert sorted(delivered, reverse=True) == delivered  # priority order
+    assert set(delivered) == set(vs)
+    assert len(delivered) == len(set(vs))  # coalescing
+
+
+@given(st.lists(vectors, min_size=1, max_size=60))
+def test_lapic_eoi_unwinds_isr_stack(vs):
+    apic = Lapic(0)
+    for v in vs:
+        apic.set_irr(v)
+    acked = []
+    while apic.has_pending():
+        acked.append(apic.ack())
+    for expected in reversed(acked):
+        assert apic.eoi() == expected
+    assert apic.eoi() is None
+
+
+@given(st.lists(vectors, min_size=1, max_size=50))
+def test_pi_descriptor_exactly_one_notification_per_on_cycle(vs):
+    pid = PiDescriptor()
+    notifications = sum(1 for v in vs if pid.post(v))
+    assert notifications == 1  # ON bit set once until synced
+    apic = Lapic(0)
+    moved = pid.sync_to(apic)
+    assert moved == len(set(vs))
+    assert apic.irr == set(vs)
+    # After sync the next post notifies again.
+    assert pid.post(0x21) is True
+
+
+@given(st.lists(st.tuples(vectors, st.booleans()), min_size=1, max_size=80))
+def test_pi_sync_never_loses_vectors(sequence):
+    """Arbitrary interleavings of post and sync: every posted vector is
+    eventually observable in the IRR (no lost interrupts)."""
+    pid = PiDescriptor()
+    apic = Lapic(0)
+    posted = set()
+    for vector, do_sync in sequence:
+        pid.post(vector)
+        posted.add(vector)
+        if do_sync:
+            pid.sync_to(apic)
+    pid.sync_to(apic)
+    assert posted <= apic.irr | set(apic.isr)

@@ -1,0 +1,66 @@
+"""Property tests for virtqueue ring invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.devices.virtio import Virtqueue, VirtqueueFull
+
+ops = st.lists(
+    st.sampled_from(["add", "pop", "push", "reap"]), min_size=1, max_size=200
+)
+
+
+@given(ops, st.sampled_from([4, 8, 16]))
+def test_ring_invariants_under_random_op_sequences(sequence, size):
+    """FIFO order, index monotonicity, and conservation of descriptors
+    under arbitrary interleavings of driver and device operations."""
+    q = Virtqueue(0, size)
+    submitted = []  # payloads in avail order
+    inflight = []  # popped by the device, not yet pushed used
+    completed = []  # pushed used, not yet reaped
+    reaped = []
+    counter = 0
+    for op in sequence:
+        if op == "add":
+            try:
+                q.add_buffer(0x1000 * counter, 64, payload=counter)
+                submitted.append(counter)
+                counter += 1
+            except VirtqueueFull:
+                assert len(submitted) + len(inflight) + len(completed) >= size
+        elif op == "pop":
+            item = q.pop_avail()
+            if submitted:
+                assert item is not None
+                desc_id, _a, _l, payload = item
+                assert payload == submitted.pop(0)  # FIFO
+                inflight.append((desc_id, payload))
+            else:
+                assert item is None
+        elif op == "push" and inflight:
+            desc_id, payload = inflight.pop(0)
+            q.push_used(desc_id, 64)
+            completed.append(payload)
+        elif op == "reap":
+            got = [p for (_d, _w, p) in q.reap_used()]
+            assert got == completed  # FIFO completion order
+            reaped.extend(got)
+            completed = []
+    # Conservation: every descriptor is in exactly one state.
+    assert q.free_descriptors == size - len(submitted) - len(inflight) - len(completed)
+    # Index monotonicity.
+    assert q.avail_idx >= q.last_avail >= 0
+    assert q.used_idx >= q.last_used >= 0
+    assert q.avail_idx == len(submitted) + len(inflight) + len(completed) + len(reaped)
+
+
+@given(st.integers(min_value=1, max_value=1000))
+def test_sustained_flow_never_leaks_descriptors(n):
+    q = Virtqueue(0, 8)
+    for i in range(n):
+        q.add_buffer(0x1000, 64, payload=i)
+        desc_id, _a, _l, p = q.pop_avail()
+        assert p == i
+        q.push_used(desc_id, 64)
+        assert q.reap_used()[0][2] == i
+    assert q.free_descriptors == 8

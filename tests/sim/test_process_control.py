@@ -1,0 +1,111 @@
+"""Tests for process cancellation and timeouts."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_cancel_stops_execution():
+    sim = Simulator()
+    steps = []
+
+    def proc():
+        for i in range(10):
+            yield 100
+            steps.append(i)
+
+    p = sim.spawn(proc(), "p")
+    sim.call_after(350, lambda: p.cancel())
+    sim.run()
+    assert steps == [0, 1, 2]
+    assert p.done and p.cancelled
+    assert p.result is None
+
+
+def test_cancel_finished_process_is_noop():
+    sim = Simulator()
+
+    def proc():
+        yield 10
+        return "done"
+
+    p = sim.spawn(proc(), "p")
+    sim.run()
+    assert not p.cancel()
+    assert p.result == "done"
+    assert not p.cancelled
+
+
+def test_cancel_resumes_joiners_with_none():
+    sim = Simulator()
+
+    def child():
+        yield 10_000
+
+    def parent():
+        c = sim.spawn(child(), "c")
+        sim.call_after(100, lambda: c.cancel())
+        value = yield c
+        return ("joined", value, sim.now)
+
+    assert sim.run_process(parent()) == ("joined", None, 100)
+
+
+def test_cancel_while_waiting_on_event():
+    sim = Simulator()
+    ev = sim.event()
+
+    def proc():
+        yield ev
+        raise AssertionError("must not resume")
+
+    p = sim.spawn(proc(), "p")
+    sim.call_after(10, lambda: p.cancel())
+    sim.call_after(20, lambda: ev.trigger())  # fires after cancellation
+    sim.run()
+    assert p.cancelled
+
+
+def test_cancel_runs_generator_cleanup():
+    sim = Simulator()
+    cleaned = []
+
+    def proc():
+        try:
+            yield 10_000
+        finally:
+            cleaned.append(True)
+
+    p = sim.spawn(proc(), "p")
+    sim.call_after(1, lambda: p.cancel())
+    sim.run()
+    assert cleaned == [True]
+
+
+def test_timeout_event():
+    sim = Simulator()
+
+    def proc():
+        value = yield sim.timeout(500, value="ding")
+        return (sim.now, value)
+
+    assert sim.run_process(proc()) == (500, "ding")
+
+
+def test_timeout_as_watchdog_with_cancel():
+    """The watchdog pattern: a timeout process cancels a stuck worker."""
+    sim = Simulator()
+    stuck_event = sim.event("never")
+
+    def worker():
+        yield stuck_event  # never triggered: stuck forever
+
+    w = sim.spawn(worker(), "worker")
+
+    def watchdog():
+        yield sim.timeout(5_000)
+        w.cancel()
+        return sim.now
+
+    assert sim.run_process(watchdog()) == 5_000
+    assert w.cancelled

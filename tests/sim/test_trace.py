@@ -1,0 +1,91 @@
+"""Tests for the tracing facility."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+
+def test_emit_records_time_and_fields():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    sim.now = 123
+    tracer.emit("exit", reason="hlt", level=2)
+    (event,) = tracer.events()
+    assert event.time == 123
+    assert event.category == "exit"
+    assert event.fields == {"reason": "hlt", "level": 2}
+
+
+def test_capacity_bounds_buffer():
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=5)
+    for i in range(20):
+        tracer.emit("e", i=i)
+    assert len(tracer) == 5
+    assert [e.fields["i"] for e in tracer.events()] == [15, 16, 17, 18, 19]
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        Tracer(Simulator(), capacity=0)
+
+
+def test_category_and_time_filters():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    for t, cat in [(10, "a"), (20, "b"), (30, "a")]:
+        sim.now = t
+        tracer.emit(cat)
+    assert len(tracer.events(category="a")) == 2
+    assert len(tracer.events(since=15)) == 2
+    assert len(tracer.events(category="a", since=15)) == 1
+
+
+def test_predicate_filter_drops():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.add_filter(lambda e: e.category != "noise")
+    tracer.emit("noise")
+    tracer.emit("signal")
+    assert len(tracer) == 1
+    assert tracer.dropped == 1
+
+
+def test_disable_enable():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.enabled = False
+    tracer.emit("e")
+    assert len(tracer) == 0
+    tracer.enabled = True
+    tracer.emit("e")
+    assert len(tracer) == 1
+
+
+def test_categories_summary():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    for cat in ["a", "b", "a"]:
+        tracer.emit(cat)
+    assert tracer.categories() == {"a": 2, "b": 1}
+
+
+def test_render_formats():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    sim.now = 2_200_000
+    tracer.emit("exit", reason="vmcall")
+    text = tracer.render(freq_hz=2_200_000_000)
+    assert "1.0000ms" in text
+    assert "vmcall" in text
+    text_cycles = tracer.render()
+    assert "2,200,000" in text_cycles
+
+
+def test_clear():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("e")
+    tracer.clear()
+    assert len(tracer) == 0

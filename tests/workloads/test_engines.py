@@ -1,0 +1,150 @@
+"""Tests for the workload engines (RR / stream / hackbench)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.features import DvhFeatures
+from repro.hv.stack import StackConfig, build_stack
+from repro.workloads.engines import (
+    AppResult,
+    HackbenchSpec,
+    RRSpec,
+    StreamSpec,
+    run_hackbench,
+    run_rr,
+    run_stream,
+)
+
+
+def native():
+    return build_stack(StackConfig(levels=0, io_model="native"))
+
+
+SMALL_RR = RRSpec(
+    name="t", txns=20, concurrency=4, compute=5_000, timer_rate=0.5, workers=2
+)
+
+
+# ----------------------------------------------------------------------
+# AppResult
+# ----------------------------------------------------------------------
+def test_overhead_throughput_direction():
+    a = AppResult("x", 100.0, "t/s", True, 1.0, 10)
+    b = AppResult("x", 50.0, "t/s", True, 1.0, 10)
+    assert b.overhead_vs(a) == 2.0
+    assert a.overhead_vs(a) == 1.0
+
+
+def test_overhead_elapsed_normalizes_per_txn():
+    native_r = AppResult("x", 1.0, "s", False, 1.0, 10)
+    slower_fewer = AppResult("x", 1.0, "s", False, 1.0, 5)
+    assert slower_fewer.overhead_vs(native_r) == 2.0
+
+
+# ----------------------------------------------------------------------
+# RR engine
+# ----------------------------------------------------------------------
+def test_rr_completes_exact_txn_count():
+    r = run_rr(native(), SMALL_RR)
+    assert r.txns == 20
+    assert r.value > 0
+    assert r.unit == "trans/s"
+
+
+def test_rr_throughput_equals_txns_over_elapsed():
+    r = run_rr(native(), SMALL_RR)
+    assert r.value == pytest.approx(r.txns / r.elapsed_s)
+
+
+def test_rr_elapsed_metric():
+    spec = dataclasses.replace(SMALL_RR, metric="elapsed", unit="s", higher_is_better=False)
+    r = run_rr(native(), spec)
+    assert r.value == pytest.approx(r.elapsed_s)
+
+
+def test_rr_multi_query_transactions():
+    spec = dataclasses.replace(SMALL_RR, queries_per_txn=3, txns=6)
+    single = dataclasses.replace(SMALL_RR, queries_per_txn=1, txns=6)
+    multi_r = run_rr(native(), spec)
+    single_r = run_rr(native(), single)
+    # Three sequential round trips per txn: roughly 3x the latency.
+    assert multi_r.elapsed_s > 2 * single_r.elapsed_s
+
+
+def test_rr_segmented_response_bytes_counted():
+    spec = dataclasses.replace(
+        SMALL_RR, response_size=10_000, response_seg=3_000, txns=5
+    )
+    r = run_rr(native(), spec)  # completes only if all segments arrive
+    assert r.txns == 5
+
+
+def test_rr_concurrency_increases_throughput_when_parallel():
+    wide = dataclasses.replace(SMALL_RR, concurrency=8, txns=40, workers=4, compute=40_000)
+    narrow = dataclasses.replace(SMALL_RR, concurrency=1, txns=40, workers=4, compute=40_000)
+    r_wide = run_rr(build_stack(StackConfig(levels=0)), wide)
+    r_narrow = run_rr(build_stack(StackConfig(levels=0)), narrow)
+    assert r_wide.value > 1.5 * r_narrow.value
+
+
+def test_rr_ipis_recorded():
+    spec = dataclasses.replace(SMALL_RR, ipi_rate=1.0, workers=2)
+    stack = native()
+    run_rr(stack, spec)
+    assert stack.metrics.interrupts[("native", "direct")] > 0
+
+
+# ----------------------------------------------------------------------
+# Stream engine
+# ----------------------------------------------------------------------
+def test_stream_rx_caps_at_line_rate():
+    spec = StreamSpec(name="s", direction="rx", msgs=120)
+    r = run_stream(native(), spec)
+    assert r.unit == "Mb/s"
+    assert 7_000 < r.value < 10_000  # near 10G line rate, under it
+
+
+def test_stream_tx_direction():
+    spec = StreamSpec(name="m", direction="tx", msgs=120, msg_size=8192)
+    r = run_stream(native(), spec)
+    assert 5_000 < r.value < 11_000
+
+
+def test_stream_counts_goodput_not_wire_bytes():
+    spec = StreamSpec(name="s", direction="rx", msgs=60)
+    r = run_stream(native(), spec)
+    # Wire overhead (6.2%) keeps goodput visibly below 10,000 Mb/s.
+    assert r.value < 9_700
+
+
+# ----------------------------------------------------------------------
+# Hackbench engine
+# ----------------------------------------------------------------------
+def test_hackbench_completes_all_items():
+    spec = HackbenchSpec(items=200, workers=4)
+    r = run_hackbench(native(), spec)
+    assert r.txns == 200
+    assert not r.higher_is_better
+    assert r.value == pytest.approx(r.elapsed_s)
+
+
+def test_hackbench_single_worker():
+    spec = HackbenchSpec(items=50, workers=1, block_every=10_000)
+    r = run_hackbench(native(), spec)
+    assert r.value > 0
+
+
+def test_hackbench_work_conservation():
+    """Total compute time across workers ~= items * item_cycles."""
+    stack = native()
+    spec = HackbenchSpec(items=100, item_cycles=10_000, workers=4)
+    run_hackbench(stack, spec)
+    assert stack.metrics.cycles["guest_work"] >= 100 * 10_000
+
+
+def test_hackbench_virtualized_more_expensive():
+    spec = HackbenchSpec(items=150, workers=4)
+    r_native = run_hackbench(native(), spec)
+    r_l2 = run_hackbench(build_stack(StackConfig(levels=2)), spec)
+    assert r_l2.value > 1.5 * r_native.value

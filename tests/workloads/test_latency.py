@@ -1,0 +1,56 @@
+"""Tests for transaction-latency tracking in the RR engine."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.features import DvhFeatures
+from repro.hv.stack import StackConfig, build_stack
+from repro.workloads.apps import NETPERF_RR
+from repro.workloads.engines import AppResult, run_rr
+
+
+def run(levels=0, io="native", dvh=None, txns=30):
+    stack = build_stack(
+        StackConfig(levels=levels, io_model=io, dvh=dvh or DvhFeatures.none())
+    )
+    spec = dataclasses.replace(NETPERF_RR, txns=txns)
+    return run_rr(stack, spec)
+
+
+def test_one_latency_per_transaction():
+    r = run(txns=25)
+    assert len(r.latencies) == 25
+    assert all(lat > 0 for lat in r.latencies)
+
+
+def test_percentiles_ordered():
+    r = run(txns=30)
+    assert r.latency_percentile(0) <= r.latency_percentile(50)
+    assert r.latency_percentile(50) <= r.latency_percentile(99)
+    assert r.latency_percentile(99) <= r.latency_percentile(100)
+
+
+def test_mean_latency_matches_throughput_for_closed_loop():
+    """Single-stream closed loop: mean latency ~ 1/throughput."""
+    r = run(txns=40)
+    assert r.mean_latency_s == pytest.approx(1 / r.value, rel=0.1)
+
+
+def test_latency_grows_with_nesting():
+    native = run(levels=0, io="native")
+    nested = run(levels=2, io="virtio")
+    dvh = run(levels=2, io="vp", dvh=DvhFeatures.full())
+    assert nested.mean_latency_s > 3 * native.mean_latency_s
+    assert dvh.mean_latency_s < nested.mean_latency_s / 2
+
+
+def test_percentile_validation():
+    r = run(txns=10)
+    with pytest.raises(ValueError):
+        r.latency_percentile(101)
+    empty = AppResult("x", 1.0, "s", False, 1.0, 1)
+    with pytest.raises(ValueError, match="no latencies"):
+        empty.latency_percentile(50)
+    with pytest.raises(ValueError, match="no latencies"):
+        _ = empty.mean_latency_s

@@ -1,0 +1,61 @@
+"""Tests for the microbenchmark harness."""
+
+import pytest
+
+from repro.core.features import DvhFeatures
+from repro.hv.stack import StackConfig, build_stack
+from repro.workloads.microbench import (
+    MICROBENCHMARKS,
+    run_all_microbenchmarks,
+    run_microbenchmark,
+)
+
+
+def test_registry_matches_table1():
+    assert set(MICROBENCHMARKS) == {
+        "Hypercall",
+        "DevNotify",
+        "ProgramTimer",
+        "SendIPI",
+    }
+
+
+def test_unknown_bench_raises():
+    stack = build_stack(StackConfig(levels=1))
+    with pytest.raises(ValueError, match="unknown microbenchmark"):
+        run_microbenchmark(stack, "Nope")
+
+
+@pytest.mark.parametrize("name", sorted(MICROBENCHMARKS))
+def test_each_bench_returns_positive_cycles(name):
+    stack = build_stack(StackConfig(levels=1))
+    cycles = run_microbenchmark(stack, name, iterations=10)
+    assert cycles > 0
+
+
+def test_results_deterministic():
+    def once():
+        stack = build_stack(StackConfig(levels=2, seed=1))
+        return run_microbenchmark(stack, "Hypercall", 15)
+
+    assert once() == once()
+
+
+def test_iterations_do_not_change_mean_much():
+    a = run_microbenchmark(build_stack(StackConfig(levels=2)), "Hypercall", 5)
+    b = run_microbenchmark(build_stack(StackConfig(levels=2)), "Hypercall", 40)
+    assert abs(a - b) / b < 0.02  # steady state from the first iteration
+
+
+def test_run_all_uses_fresh_stacks():
+    results = run_all_microbenchmarks(
+        lambda: build_stack(StackConfig(levels=1)), iterations=5
+    )
+    assert set(results) == set(MICROBENCHMARKS)
+    assert all(v > 0 for v in results.values())
+
+
+def test_devnotify_needs_virtio():
+    stack = build_stack(StackConfig(levels=2, io_model="passthrough"))
+    with pytest.raises(ValueError, match="virtio"):
+        run_microbenchmark(stack, "DevNotify", 5)
