@@ -1,6 +1,6 @@
 # Convenience targets for the DVH reproduction.
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench bench-perf figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Host-performance regression baselines (see docs/performance.md).
+bench-perf:
+	PYTHONPATH=src python benchmarks/perf/perf_engine.py --out BENCH_engine.json
+	PYTHONPATH=src python benchmarks/perf/perf_experiments.py --tier1 --out BENCH_experiments.json
 
 figures:
 	python -m repro table3

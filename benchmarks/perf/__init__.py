@@ -1,0 +1,9 @@
+"""Host-performance regression benchmarks.
+
+Unlike :mod:`benchmarks` proper (which measures *simulated* cycles),
+this package measures how fast the simulator itself runs on the host:
+engine events per second and the wall time of fixed experiment slices.
+Results land in ``BENCH_engine.json`` / ``BENCH_experiments.json`` at
+the repository root (``make bench-perf`` regenerates both), giving a
+baseline to diff against when the engine or hot paths change.
+"""

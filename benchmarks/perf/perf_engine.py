@@ -1,0 +1,122 @@
+"""Engine throughput benchmark: simulator events per host second.
+
+Two synthetic workloads bracket the engine's behavior:
+
+* **ping-pong** — pairs of processes waking each other through events,
+  the zero-delay resume traffic that dominates the exit-handler chains
+  (exercises the ready deque);
+* **delay chain** — one process sleeping in a tight loop with nothing
+  else scheduled (exercises the inline clock-advance fast path).
+
+Run directly to print and optionally record results::
+
+    PYTHONPATH=src python benchmarks/perf/perf_engine.py --out BENCH_engine.json
+    PYTHONPATH=src python benchmarks/perf/perf_engine.py --check
+
+``--check`` enforces a conservative events/sec floor (for CI smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from typing import Dict
+
+from repro.sim.engine import Simulator
+
+#: Conservative floor for CI hosts of unknown speed; the engine manages
+#: well over 10x this on 2020s-era hardware.
+MIN_EVENTS_PER_SEC = 100_000.0
+
+
+def bench_ping_pong(pairs: int = 4, rounds: int = 20_000) -> Dict[str, float]:
+    """Event-driven ping-pong: ``pairs`` process pairs, each exchanging
+    ``rounds`` wakeups through one-shot events (the ready-deque path)."""
+    sim = Simulator()
+    for _p in range(pairs):
+        ping_ev = [sim.event()]
+        pong_ev = [sim.event()]
+
+        def ping(ping_ev=ping_ev, pong_ev=pong_ev):
+            for _ in range(rounds):
+                pong_ev[0].trigger()
+                yield ping_ev[0]
+                ping_ev[0] = sim.event()
+
+        def pong(ping_ev=ping_ev, pong_ev=pong_ev):
+            for _ in range(rounds):
+                yield pong_ev[0]
+                pong_ev[0] = sim.event()
+                ping_ev[0].trigger()
+
+        sim.spawn(ping(), "ping")
+        sim.spawn(pong(), "pong")
+    sim.run()
+    return sim.stats()
+
+
+def bench_delay_chain(rounds: int = 200_000) -> Dict[str, float]:
+    """A single process sleeping ``rounds`` times with an empty heap —
+    the uncontended inline-advance path."""
+    sim = Simulator()
+
+    def sleeper():
+        for _ in range(rounds):
+            yield 7
+
+    sim.spawn(sleeper(), "sleeper")
+    sim.run()
+    return sim.stats()
+
+
+def run_benchmarks() -> Dict[str, Dict[str, float]]:
+    return {
+        "ping_pong": bench_ping_pong(),
+        "delay_chain": bench_delay_chain(),
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write results to this JSON file")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"fail unless ping-pong sustains {MIN_EVENTS_PER_SEC:,.0f} events/s",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks()
+    for name in ("ping_pong", "delay_chain"):
+        s = results[name]
+        print(
+            f"{name:12s} {s['last_run_events']:>10,.0f} events "
+            f"in {s['last_run_wall_s']:.3f}s host wall = "
+            f"{s['last_run_events_per_sec']:>12,.0f} events/s"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        rate = results["ping_pong"]["last_run_events_per_sec"]
+        if rate < MIN_EVENTS_PER_SEC:
+            print(
+                f"FAIL: {rate:,.0f} events/s below floor "
+                f"{MIN_EVENTS_PER_SEC:,.0f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: above {MIN_EVENTS_PER_SEC:,.0f} events/s floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

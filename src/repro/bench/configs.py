@@ -17,6 +17,7 @@ __all__ = [
     "FIG8_CONFIGS",
     "FIG9_CONFIGS",
     "FIG10_CONFIGS",
+    "CONFIG_SETS",
     "config_factory",
 ]
 
@@ -135,3 +136,14 @@ FIG10_CONFIGS: List[Tuple[str, Callable[[], StackConfig]]] = [
         ),
     ),
 ]
+
+#: Named config sets, so parallel workers can rebuild a configuration
+#: from a (set key, index) pair — the factories themselves close over
+#: keyword arguments and do not pickle.
+CONFIG_SETS = {
+    "table3": TABLE3_CONFIGS,
+    "7": FIG7_CONFIGS,
+    "8": FIG8_CONFIGS,
+    "9": FIG9_CONFIGS,
+    "10": FIG10_CONFIGS,
+}

@@ -23,6 +23,7 @@ from repro.bench.configs import (
     FIG10_CONFIGS,
     TABLE3_CONFIGS,
 )
+from repro.bench.parallel import app_cell, map_cells, table3_cell
 
 __all__ = [
     "Table3Result",
@@ -75,10 +76,29 @@ class MigrationRow:
 
 
 # ----------------------------------------------------------------------
-def run_table3(iterations: int = 30, benches: Optional[List[str]] = None) -> Table3Result:
-    """Regenerate Table 3: microbenchmark cycle costs."""
+def run_table3(
+    iterations: int = 30,
+    benches: Optional[List[str]] = None,
+    jobs: int = 1,
+) -> Table3Result:
+    """Regenerate Table 3: microbenchmark cycle costs.
+
+    ``jobs`` fans the (bench, config) cells over worker processes
+    (0 = one per CPU); results are identical to a serial run.
+    """
+    benches = list(benches) if benches is not None else list(MICROBENCHMARKS)
     result = Table3Result(configs=[name for name, _ in TABLE3_CONFIGS])
-    for bench in benches or list(MICROBENCHMARKS):
+    if jobs != 1:
+        tasks = [
+            (bench, i, iterations)
+            for bench in benches
+            for i in range(len(TABLE3_CONFIGS))
+        ]
+        values = iter(map_cells(table3_cell, tasks, jobs))
+        for bench in benches:
+            result.cells[bench] = {name: next(values) for name, _ in TABLE3_CONFIGS}
+        return result
+    for bench in benches:
         row: Dict[str, float] = {}
         for config_name, factory in TABLE3_CONFIGS:
             stack = build_stack(factory())
@@ -93,23 +113,38 @@ def _run_app_figure(
     configs: List[Tuple[str, Callable[[], StackConfig]]],
     apps: Optional[List[str]] = None,
     scales: Optional[Dict[int, float]] = None,
+    jobs: int = 1,
+    configs_key: Optional[str] = None,
 ) -> FigureResult:
     scales = scales or DEFAULT_SCALES
+    apps = list(apps) if apps is not None else app_names()
     result = FigureResult(title=title, configs=[n for n, _ in configs if n != "native"])
+    # Build each configuration once; the levels (for the uniform scale)
+    # and every per-app stack reuse the same validated StackConfig.
+    built = [(name, factory()) for name, factory in configs]
     # One uniform scale per figure (the smallest across its levels), so
     # elapsed-time workloads compare equal transaction counts and warmup
     # edge effects cancel in the overhead ratio.
-    uniform_scale = min(
-        scales.get(factory().levels, 0.3) for _name, factory in configs
-    )
-    for app in apps or app_names():
+    uniform_scale = min(scales.get(config.levels, 0.3) for _name, config in built)
+    if jobs != 1 and configs_key is not None:
+        tasks = [
+            (configs_key, i, app, uniform_scale)
+            for app in apps
+            for i in range(len(configs))
+        ]
+        cells = map_cells(app_cell, tasks, jobs)
+    else:
+        cells = [
+            run_app(build_stack(config), app, scale=uniform_scale)
+            for app in apps
+            for _name, config in built
+        ]
+    it = iter(cells)
+    for app in apps:
         native_result: Optional[AppResult] = None
         row: Dict[str, float] = {}
-        for config_name, factory in configs:
-            config = factory()
-            scale = uniform_scale
-            stack = build_stack(config)
-            r = run_app(stack, app, scale=scale)
+        for config_name, _config in built:
+            r = next(it)
             if config_name == "native":
                 native_result = r
                 continue
@@ -121,33 +156,55 @@ def _run_app_figure(
     return result
 
 
-def run_figure7(apps=None, scales=None) -> FigureResult:
+def run_figure7(apps=None, scales=None, jobs: int = 1) -> FigureResult:
     """Application performance, six configurations (Figure 7)."""
-    return _run_app_figure("Figure 7: Application performance", FIG7_CONFIGS, apps, scales)
+    return _run_app_figure(
+        "Figure 7: Application performance",
+        FIG7_CONFIGS,
+        apps,
+        scales,
+        jobs=jobs,
+        configs_key="7",
+    )
 
 
-def run_figure8(apps=None, scales=None) -> FigureResult:
+def run_figure8(apps=None, scales=None, jobs: int = 1) -> FigureResult:
     """Incremental DVH breakdown (Figure 8)."""
     return _run_app_figure(
-        "Figure 8: Application performance breakdown", FIG8_CONFIGS, apps, scales
+        "Figure 8: Application performance breakdown",
+        FIG8_CONFIGS,
+        apps,
+        scales,
+        jobs=jobs,
+        configs_key="8",
     )
 
 
-def run_figure9(apps=None, scales=None) -> FigureResult:
+def run_figure9(apps=None, scales=None, jobs: int = 1) -> FigureResult:
     """Application performance in an L3 VM (Figure 9)."""
     return _run_app_figure(
-        "Figure 9: Application performance in L3 VM", FIG9_CONFIGS, apps, scales
+        "Figure 9: Application performance in L3 VM",
+        FIG9_CONFIGS,
+        apps,
+        scales,
+        jobs=jobs,
+        configs_key="9",
     )
 
 
-def run_figure10(apps=None, scales=None) -> FigureResult:
+def run_figure10(apps=None, scales=None, jobs: int = 1) -> FigureResult:
     """Xen as guest hypervisor on KVM (Figure 10)."""
     return _run_app_figure(
-        "Figure 10: Application performance, Xen on KVM", FIG10_CONFIGS, apps, scales
+        "Figure 10: Application performance, Xen on KVM",
+        FIG10_CONFIGS,
+        apps,
+        scales,
+        jobs=jobs,
+        configs_key="10",
     )
 
 
-def run_figure(which: str, apps=None, scales=None) -> FigureResult:
+def run_figure(which: str, apps=None, scales=None, jobs: int = 1) -> FigureResult:
     """Dispatch by figure number ("7", "8", "9", "10")."""
     runners = {
         "7": run_figure7,
@@ -156,7 +213,7 @@ def run_figure(which: str, apps=None, scales=None) -> FigureResult:
         "10": run_figure10,
     }
     try:
-        return runners[str(which)](apps=apps, scales=scales)
+        return runners[str(which)](apps=apps, scales=scales, jobs=jobs)
     except KeyError:
         raise ValueError(f"no such figure: {which}") from None
 

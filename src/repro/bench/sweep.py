@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.bench.parallel import map_cells
 from repro.hv.stack import StackConfig, build_stack
 from repro.sim import default_costs
 
@@ -45,42 +46,63 @@ class SweepResult:
         return max(vs) / lo if lo else float("inf")
 
 
+def _cost_point(task) -> float:
+    field, factor, measure, config = task
+    base = default_costs()
+    cfg = dataclasses.replace(config) if config else StackConfig(levels=2)
+    stack = build_stack(cfg)
+    value = getattr(base, field)
+    scaled = base.scaled(**{field: type(value)(value * factor)})
+    stack.machine.costs = scaled
+    return measure(stack)
+
+
 def sweep_cost(
     field: str,
     factors: Sequence[float],
     measure: Callable[[StackConfig], float],
     config: Optional[StackConfig] = None,
     metric: str = "cycles",
+    jobs: int = 1,
 ) -> SweepResult:
     """Scale one cost-model field by each factor and re-measure.
 
     Builds a fresh stack per point, installs the scaled cost model on
-    its machine, and calls ``measure(stack)``.
+    its machine, and calls ``measure(stack)``.  Points are independent,
+    so ``jobs`` fans them over worker processes (serial when ``measure``
+    does not pickle); result order matches the factors either way.
     """
-    base = default_costs()
     result = SweepResult(parameter=field, metric=metric)
-    for factor in factors:
-        cfg = dataclasses.replace(config) if config else StackConfig(levels=2)
-        stack = build_stack(cfg)
-        value = getattr(base, field)
-        scaled = base.scaled(**{field: type(value)(value * factor)})
-        stack.machine.costs = scaled
-        result.points.append((factor, measure(stack)))
+    tasks = [(field, factor, measure, config) for factor in factors]
+    values = map_cells(_cost_point, tasks, jobs)
+    result.points = [(factor, v) for factor, v in zip(factors, values)]
     return result
+
+
+def _level_point(task) -> float:
+    measure, level, config_kwargs = task
+    return measure(build_stack(StackConfig(levels=level, **config_kwargs)))
 
 
 def sweep_levels(
     measure: Callable[[Any], float],
     levels: Sequence[int] = (1, 2, 3),
     metric: str = "cycles",
+    jobs: int = 1,
     **config_kwargs: Any,
 ) -> SweepResult:
     """Measure across virtualization depths."""
     result = SweepResult(parameter="levels", metric=metric)
-    for level in levels:
-        stack = build_stack(StackConfig(levels=level, **config_kwargs))
-        result.points.append((level, measure(stack)))
+    tasks = [(measure, level, config_kwargs) for level in levels]
+    values = map_cells(_level_point, tasks, jobs)
+    result.points = [(level, v) for level, v in zip(levels, values)]
     return result
+
+
+def _spec_point(task) -> float:
+    spec, field, value, runner, stack_factory = task
+    varied = dataclasses.replace(spec, **{field: value})
+    return runner(stack_factory(), varied).value
 
 
 def sweep_spec(
@@ -90,15 +112,14 @@ def sweep_spec(
     runner: Callable[[Any, Any], Any],
     stack_factory: Callable[[], Any],
     metric: str = "value",
+    jobs: int = 1,
 ) -> SweepResult:
     """Vary one workload-spec field; ``runner(stack, spec)`` must return
     an AppResult-like object with ``.value``."""
     result = SweepResult(parameter=field, metric=metric)
-    for v in values:
-        varied = dataclasses.replace(spec, **{field: v})
-        stack = stack_factory()
-        outcome = runner(stack, varied)
-        result.points.append((v, outcome.value))
+    tasks = [(spec, field, v, runner, stack_factory) for v in values]
+    outcomes = map_cells(_spec_point, tasks, jobs)
+    result.points = [(v, o) for v, o in zip(values, outcomes)]
     return result
 
 

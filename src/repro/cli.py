@@ -40,7 +40,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table3", help="Table 3: microbenchmark cycles")
+    def add_jobs_arg(p):
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for independent cells (0 = one per CPU)",
+        )
+
+    t3 = sub.add_parser("table3", help="Table 3: microbenchmark cycles")
+    add_jobs_arg(t3)
 
     fig = sub.add_parser("figure", help="Figures 7/8/9/10: application overheads")
     fig.add_argument("number", choices=["7", "8", "9", "10"])
@@ -49,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument(
         "--chart", action="store_true", help="render as an ASCII bar chart"
     )
+    add_jobs_arg(fig)
 
     sub.add_parser("migration", help="the Section 4 migration experiment")
 
@@ -105,7 +115,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table3":
         from repro.bench import format_table3, run_table3
 
-        print(format_table3(run_table3()))
+        print(format_table3(run_table3(jobs=args.jobs)))
         return 0
 
     if args.command == "figure":
@@ -114,7 +124,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         scales = None
         if args.scale is not None:
             scales = {lvl: args.scale for lvl in range(6)}
-        result = run_figure(args.number, apps=args.apps, scales=scales)
+        result = run_figure(args.number, apps=args.apps, scales=scales, jobs=args.jobs)
         if args.chart:
             from repro.bench.plot import ascii_figure
 
@@ -157,7 +167,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.metrics.report import full_report
 
             print()
-            print(full_report(stack.metrics, stack.machine.freq_hz))
+            print(full_report(stack.metrics, stack.machine.freq_hz, sim=stack.sim))
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices

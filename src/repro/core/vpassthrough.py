@@ -25,7 +25,7 @@ from typing import List, Optional
 
 from repro.hw.devices.virtio import VirtioDevice
 from repro.hw.ept import PageTable, Perm
-from repro.hv.passthrough import dma_pool_pfns, resolve_through_chain
+from repro.hv.passthrough import dma_pool_pfns, resolve_many_through_chain
 from repro.hv.viommu import VirtualIommu
 
 __all__ = [
@@ -107,10 +107,12 @@ def assign_virtual_device(
     # next level's mappings; the composed result is the shadow table.
     shadow = PageTable(name=f"vp-shadow:{device.name}")
     levels = leaf_vm.level
-    for pfn in pfns:
-        host_pfn = resolve_through_chain(leaf_vm, pfn)
-        shadow.map(pfn, host_pfn, Perm.RW)
-        machine.metrics.charge("setup", costs.shadow_iommu_map_page * (levels - 1))
+    shadow.map_many(
+        zip(pfns, resolve_many_through_chain(leaf_vm, pfns)), Perm.RW
+    )
+    machine.metrics.charge(
+        "setup", costs.shadow_iommu_map_page * (levels - 1) * len(pfns)
+    )
     if viommus:
         viommus[0].shadow_tables[device.bdf] = shadow
 
@@ -129,10 +131,14 @@ def populate_chain_epts(leaf_vm, pfns: List[int]) -> None:
     stride = 1 << 8
     vm = leaf_vm
     while vm is not None:
-        for pfn in pfns:
-            key = _chain_pfn(leaf_vm, vm, pfn, stride)
-            if key not in vm.ept:
-                vm.ept.map(key, key + vm.level * stride, Perm.RW)
+        # The leaf-pfn -> level-m-pfn offset depends only on the levels,
+        # not on the pfn: compute it once per level, not once per page.
+        offset = _chain_pfn(leaf_vm, vm, 0, stride)
+        if offset:
+            keys = [pfn + offset for pfn in pfns]
+        else:
+            keys = pfns
+        vm.ept.map_many_if_absent(keys, vm.level * stride, Perm.RW)
         vm = vm.manager.vm if vm.manager is not None else None
 
 

@@ -79,6 +79,9 @@ class KvmHypervisor:
         if (level == 0) != (vm is None):
             raise ValueError("host hypervisor has no VM; guest hypervisors need one")
         self.machine = machine
+        #: Machine metrics, bound once (the machine never swaps it); the
+        #: dispatch path charges it on every exit.
+        self.metrics = machine.metrics
         self.level = level
         self.vm = vm
         self.name = name or (f"kvm-L{level}" if level else "kvm-host")
@@ -117,10 +120,6 @@ class KvmHypervisor:
     def costs(self):
         return self.machine.costs
 
-    @property
-    def metrics(self):
-        return self.machine.metrics
-
     def _hv_at(self, level: int) -> "KvmHypervisor":
         return self.machine.hv_stack[level]
 
@@ -146,14 +145,16 @@ class KvmHypervisor:
         """Entry point for every hardware VM exit (L0 only, §2)."""
         assert self.level == 0, "only the host hypervisor takes hardware exits"
         c = self.costs
-        self.metrics.record_exit(vcpu.level, exit_.reason.value)
-        self.metrics.charge("hw_switch", c.hw_exit)
-        self.metrics.charge("l0_emul", c.l0_dispatch)
+        metrics = self.metrics
+        reason_name = exit_.reason._value_
+        metrics.record_exit(vcpu.level, reason_name)
+        metrics.charge("hw_switch", c.hw_exit)
+        metrics.charge("l0_emul", c.l0_dispatch)
         yield c.hw_exit + c.l0_dispatch
         if vcpu.level >= 2 and self.dvh.any_enabled:
             # L0 consults the DVH bits in the (merged) VM-execution
             # controls before routing (§3.2-3.4).
-            self.metrics.charge("l0_emul", c.dvh_route_check)
+            metrics.charge("l0_emul", c.dvh_route_check)
             yield c.dvh_route_check
         owner = self._route(vcpu, exit_)
         if owner == 0:
@@ -164,12 +165,12 @@ class KvmHypervisor:
                 ExitReason.MMIO,
             )
             result = yield from self._emulate(vcpu, exit_)
-            self.metrics.record_l0_handled(exit_.reason.value, dvh=dvh_used)
-            self.metrics.charge("hw_switch", c.hw_entry)
+            metrics.record_l0_handled(reason_name, dvh=dvh_used)
+            metrics.charge("hw_switch", c.hw_entry)
             yield c.hw_entry
             return result
-        self.metrics.record_forward(vcpu.level, exit_.reason.value, owner)
-        self.metrics.charge("l0_emul", c.forward_state_save)
+        metrics.record_forward(vcpu.level, reason_name, owner)
+        metrics.charge("l0_emul", c.forward_state_save)
         yield c.forward_state_save
         return (yield from self._deliver(vcpu, exit_, owner, via=1))
 

@@ -15,14 +15,21 @@ is exactly the same as what it does with the regular passthrough model",
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from functools import lru_cache
+from typing import Iterable, List, Tuple
 
 from repro.hw.ept import PageTable, Perm
 from repro.hw.iommu import Irte, IrteMode
 from repro.hw.mem import PAGE_SHIFT
 from repro.hw.pci import PciDevice
 
-__all__ = ["assign_physical_device", "MigrationNotSupported", "dma_pool_pfns"]
+__all__ = [
+    "assign_physical_device",
+    "MigrationNotSupported",
+    "dma_pool_pfns",
+    "resolve_through_chain",
+    "resolve_many_through_chain",
+]
 
 #: Pages each driver pre-maps for DMA (RX + TX pools).
 from repro.hv.virtio_backend import QUEUE_POOL_STRIDE, RX_POOL_BASE, TX_POOL_BASE
@@ -33,11 +40,10 @@ class MigrationNotSupported(RuntimeError):
     the key limitation DVH removes (§1, §3.6)."""
 
 
-def dma_pool_pfns(
-    buffers: int = 128, buf_size: int = 65536, queues: int = 4
-) -> List[int]:
-    """Guest page frames of the standard driver DMA pools (covering every
-    multiqueue pool stride)."""
+@lru_cache(maxsize=16)
+def _dma_pool_pfns_cached(
+    buffers: int, buf_size: int, queues: int
+) -> Tuple[int, ...]:
     pfns = set()
     for base in (RX_POOL_BASE, TX_POOL_BASE):
         for q in range(queues):
@@ -47,7 +53,20 @@ def dma_pool_pfns(
                 start = addr >> PAGE_SHIFT
                 end = (addr + buf_size - 1) >> PAGE_SHIFT
                 pfns.update(range(start, end + 1))
-    return sorted(pfns)
+    return tuple(sorted(pfns))
+
+
+def dma_pool_pfns(
+    buffers: int = 128, buf_size: int = 65536, queues: int = 4
+) -> List[int]:
+    """Guest page frames of the standard driver DMA pools (covering every
+    multiqueue pool stride).
+
+    The pool layout is a pure function of its parameters and this is
+    called for every stack build, so the computed frame set is cached;
+    callers get a fresh list they are free to mutate.
+    """
+    return list(_dma_pool_pfns_cached(buffers, buf_size, queues))
 
 
 def resolve_through_chain(leaf_vm, pfn: int) -> int:
@@ -62,6 +81,26 @@ def resolve_through_chain(leaf_vm, pfn: int) -> int:
                 f"{vm.name}: pfn {current:#x} not mapped in its EPT"
             )
         current = pte.target_pfn
+        vm = vm.manager.vm if vm.manager is not None else None
+    return current
+
+
+def resolve_many_through_chain(leaf_vm, pfns: Iterable[int]) -> List[int]:
+    """Batch :func:`resolve_through_chain`: one pass per nesting level,
+    with the radix walk amortized over pfns sharing a leaf node."""
+    current = list(pfns)
+    vm = leaf_vm
+    while vm is not None:
+        ptes = vm.ept.lookup_many(current)
+        nxt: List[int] = []
+        append = nxt.append
+        for pfn, pte in zip(current, ptes):
+            if pte is None:
+                raise KeyError(
+                    f"{vm.name}: pfn {pfn:#x} not mapped in its EPT"
+                )
+            append(pte.target_pfn)
+        current = nxt
         vm = vm.manager.vm if vm.manager is not None else None
     return current
 
@@ -87,12 +126,13 @@ def assign_physical_device(
             leaf_vm.map_mmio_no_trap(bar.base, bar.size)
     domain = machine.iommu.attach(device)
     levels = leaf_vm.level
-    for pfn in pfns:
-        host_pfn = resolve_through_chain(leaf_vm, pfn)
-        domain.map(pfn, host_pfn, Perm.RW)
-        machine.metrics.charge(
-            "setup", costs.shadow_iommu_map_page * levels
-        )
+    pfn_list = list(pfns)
+    domain.map_many(
+        zip(pfn_list, resolve_many_through_chain(leaf_vm, pfn_list)), Perm.RW
+    )
+    machine.metrics.charge(
+        "setup", costs.shadow_iommu_map_page * levels * len(pfn_list)
+    )
     # VT-d posted interrupts straight to the leaf's first vCPU.
     if leaf_vm.vcpus:
         machine.iommu.set_irte(

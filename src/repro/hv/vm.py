@@ -128,6 +128,14 @@ class VCpu(ExecutionContext):
             raise ValueError("parent vCPU must be one level down")
         if vm.level > 1 and parent is None:
             raise ValueError("nested vCPU needs a parent")
+        #: Machine metrics, bound once (the machine never swaps it); keeps
+        #: the per-exit charge path off the vm.machine property chain.
+        self.metrics = vm.machine.metrics
+        #: The nesting chain [vcpu_L1, ..., self]; parent links are fixed
+        #: at construction, so the chain is precomputed.
+        self._chain: Tuple["VCpu", ...] = (
+            (self,) if parent is None else parent._chain + (self,)
+        )
 
     # ------------------------------------------------------------------
     # Shortcuts
@@ -149,23 +157,13 @@ class VCpu(ExecutionContext):
     def costs(self):
         return self.vm.machine.costs
 
-    @property
-    def metrics(self):
-        return self.vm.machine.metrics
-
     def chain(self) -> List["VCpu"]:
         """vCPUs from L1 down to this one: [vcpu_L1, ..., self]."""
-        out: List[VCpu] = []
-        v: Optional[VCpu] = self
-        while v is not None:
-            out.append(v)
-            v = v.parent
-        out.reverse()
-        return out
+        return list(self._chain)
 
     def chain_vcpu(self, level: int) -> "VCpu":
         """The vCPU of the level-``level`` VM on this chain."""
-        ch = self.chain()
+        ch = self._chain
         if not 1 <= level <= len(ch):
             raise ValueError(f"no level-{level} vCPU on chain of {self.name}")
         return ch[level - 1]
@@ -173,7 +171,7 @@ class VCpu(ExecutionContext):
     def total_tsc_offset(self) -> int:
         """Sum of VMCS TSC offsets from the host down to this vCPU
         (guest TSC = host TSC + total offset)."""
-        return sum(v.vmcs.read(VmcsField.TSC_OFFSET) for v in self.chain())
+        return sum(v.vmcs.read(VmcsField.TSC_OFFSET) for v in self._chain)
 
     # ------------------------------------------------------------------
     # ExecutionContext: compute / memory / time

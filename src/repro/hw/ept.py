@@ -16,8 +16,7 @@ Write-protection supports dirty logging for live migration.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.hw.mem import PAGE_SHIFT
 
@@ -26,6 +25,15 @@ __all__ = ["Perm", "EptViolation", "PageTable", "compose"]
 #: Bits of page-frame number consumed per radix level (9 bits, x86-style).
 LEVEL_BITS = 9
 LEVELS = 4
+
+# Precomputed shifts/mask for the (hot) unrolled 4-level walk.  The walk
+# implementations below are hand-unrolled for LEVELS == 4; the constants
+# stay the single source of truth for the geometry.
+_S3 = LEVEL_BITS * 3
+_S2 = LEVEL_BITS * 2
+_S1 = LEVEL_BITS
+_MASK = (1 << LEVEL_BITS) - 1
+assert LEVELS == 4, "walks below are unrolled for a 4-level table"
 
 
 class Perm(enum.IntFlag):
@@ -49,16 +57,42 @@ class EptViolation(Exception):
         self.reason = reason
 
 
-@dataclass
 class Pte:
     """A leaf page-table entry."""
 
-    target_pfn: int
-    perm: Perm
-    #: Original permission before write-protection for dirty logging.
-    saved_perm: Optional[Perm] = None
-    dirty: bool = False
-    accessed: bool = False
+    __slots__ = ("target_pfn", "perm", "saved_perm", "dirty", "accessed")
+
+    def __init__(
+        self,
+        target_pfn: int,
+        perm: "Perm",
+        saved_perm: Optional["Perm"] = None,
+        dirty: bool = False,
+        accessed: bool = False,
+    ) -> None:
+        self.target_pfn = target_pfn
+        self.perm = perm
+        #: Original permission before write-protection for dirty logging.
+        self.saved_perm = saved_perm
+        self.dirty = dirty
+        self.accessed = accessed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Pte(target_pfn={self.target_pfn:#x}, perm={self.perm!r}, "
+            f"dirty={self.dirty})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pte):
+            return NotImplemented
+        return (
+            self.target_pfn == other.target_pfn
+            and self.perm == other.perm
+            and self.saved_perm == other.saved_perm
+            and self.dirty == other.dirty
+            and self.accessed == other.accessed
+        )
 
 
 class PageTable:
@@ -84,27 +118,119 @@ class PageTable:
             idx.append((pfn >> (LEVEL_BITS * level)) & ((1 << LEVEL_BITS) - 1))
         return tuple(idx)
 
+    def _leaf_node(self, pfn: int) -> Dict[int, Pte]:
+        """The leaf radix node for ``pfn``, creating missing interior
+        nodes (unrolled 4-level descent)."""
+        node = self._root
+        nxt = node.get((pfn >> _S3) & _MASK)
+        if nxt is None:
+            nxt = node[(pfn >> _S3) & _MASK] = {}
+        node = nxt
+        nxt = node.get((pfn >> _S2) & _MASK)
+        if nxt is None:
+            nxt = node[(pfn >> _S2) & _MASK] = {}
+        node = nxt
+        nxt = node.get((pfn >> _S1) & _MASK)
+        if nxt is None:
+            nxt = node[(pfn >> _S1) & _MASK] = {}
+        return nxt
+
     def map(self, pfn: int, target_pfn: int, perm: Perm = Perm.RWX) -> None:
         """Map guest pfn -> target pfn with permissions."""
         if perm == Perm.NONE:
             raise ValueError("cannot map with empty permissions")
-        node = self._root
-        *upper, leaf = self._indices(pfn)
-        for idx in upper:
-            node = node.setdefault(idx, {})
+        node = self._leaf_node(pfn)
+        leaf = pfn & _MASK
         if leaf not in node:
             self._count += 1
-        node[leaf] = Pte(target_pfn=target_pfn, perm=perm)
+        node[leaf] = Pte(target_pfn, perm)
+
+    def map_if_absent(self, pfn: int, target_pfn: int, perm: Perm = Perm.RWX) -> bool:
+        """Map only if ``pfn`` has no entry yet; returns whether it
+        mapped.  One walk instead of the ``in`` + :meth:`map` pair."""
+        if perm == Perm.NONE:
+            raise ValueError("cannot map with empty permissions")
+        node = self._leaf_node(pfn)
+        leaf = pfn & _MASK
+        if leaf in node:
+            return False
+        node[leaf] = Pte(target_pfn, perm)
+        self._count += 1
+        return True
+
+    def map_many(self, items, perm: Perm = Perm.RWX) -> None:
+        """Map ``(pfn, target_pfn)`` pairs, amortizing the radix walk
+        across consecutive pfns that share a leaf node (a big win for
+        the sorted, mostly contiguous DMA-pool ranges)."""
+        if perm == Perm.NONE:
+            raise ValueError("cannot map with empty permissions")
+        prev_hi = -1
+        node: Dict[int, Pte] = {}
+        added = 0
+        for pfn, target_pfn in items:
+            hi = pfn >> _S1
+            if hi != prev_hi:
+                node = self._leaf_node(pfn)
+                prev_hi = hi
+            leaf = pfn & _MASK
+            if leaf not in node:
+                added += 1
+            node[leaf] = Pte(target_pfn, perm)
+        self._count += added
+
+    def map_many_if_absent(self, pfns, delta: int, perm: Perm = Perm.RWX) -> int:
+        """Map ``pfn -> pfn + delta`` for every pfn without an entry yet
+        (existing entries are kept); returns how many were added.  Same
+        leaf-node amortization as :meth:`map_many`."""
+        if perm == Perm.NONE:
+            raise ValueError("cannot map with empty permissions")
+        prev_hi = -1
+        node: Dict[int, Pte] = {}
+        added = 0
+        for pfn in pfns:
+            hi = pfn >> _S1
+            if hi != prev_hi:
+                node = self._leaf_node(pfn)
+                prev_hi = hi
+            leaf = pfn & _MASK
+            if leaf not in node:
+                node[leaf] = Pte(pfn + delta, perm)
+                added += 1
+        self._count += added
+        return added
+
+    def lookup_many(self, pfns) -> "List[Optional[Pte]]":
+        """Batch :meth:`lookup` with the leaf node cached across
+        consecutive pfns that share it."""
+        out: List[Optional[Pte]] = []
+        append = out.append
+        root = self._root
+        prev_hi = -1
+        node: Optional[Dict[int, Pte]] = None
+        for pfn in pfns:
+            hi = pfn >> _S1
+            if hi != prev_hi:
+                node = root.get((pfn >> _S3) & _MASK)
+                if node is not None:
+                    node = node.get((pfn >> _S2) & _MASK)
+                    if node is not None:
+                        node = node.get((pfn >> _S1) & _MASK)
+                prev_hi = hi
+            append(node.get(pfn & _MASK) if node is not None else None)
+        return out
 
     def unmap(self, pfn: int) -> bool:
         """Remove a mapping; returns whether it existed."""
-        node = self._root
-        *upper, leaf = self._indices(pfn)
-        for idx in upper:
-            nxt = node.get(idx)
-            if nxt is None:
-                return False
-            node = nxt
+        node = self._root.get((pfn >> _S3) & _MASK)
+        if node is None:
+            return False
+        node = node.get((pfn >> _S2) & _MASK)
+        if node is None:
+            return False
+        node = node.get((pfn >> _S1) & _MASK)
+        if node is None:
+            return False
+        leaf = pfn & _MASK
         if leaf in node:
             del node[leaf]
             self._count -= 1
@@ -116,15 +242,16 @@ class PageTable:
     # ------------------------------------------------------------------
     def lookup(self, pfn: int) -> Optional[Pte]:
         """Walk the table; returns the PTE or None.  No permission check."""
-        node = self._root
-        *upper, leaf = self._indices(pfn)
-        for idx in upper:
-            nxt = node.get(idx)
-            if nxt is None:
-                return None
-            node = nxt
-        pte = node.get(leaf)
-        return pte
+        node = self._root.get((pfn >> _S3) & _MASK)
+        if node is None:
+            return None
+        node = node.get((pfn >> _S2) & _MASK)
+        if node is None:
+            return None
+        node = node.get((pfn >> _S1) & _MASK)
+        if node is None:
+            return None
+        return node.get(pfn & _MASK)
 
     def translate(self, pfn: int, access: Perm = Perm.R) -> int:
         """Translate with permission enforcement; raises EptViolation."""

@@ -19,6 +19,7 @@ __all__ = [
     "cycle_report",
     "interrupt_report",
     "intervention_summary",
+    "simulator_report",
     "full_report",
 ]
 
@@ -95,11 +96,29 @@ def intervention_summary(metrics: Metrics) -> Dict[str, float]:
     }
 
 
-def full_report(metrics: Metrics, freq_hz: Optional[int] = None) -> str:
+def simulator_report(sim) -> str:
+    """Engine cost of the run: events executed, the ready/heap/inline
+    scheduling split, and host-side throughput (``Simulator.stats()``)."""
+    s = sim.stats()
+    rows = [
+        ["events executed", f"{s['events_executed']:,.0f}"],
+        ["ready-queue hits", f"{s['ready_hits']:,.0f}"],
+        ["heap hits", f"{s['heap_hits']:,.0f}"],
+        ["inline advances", f"{s['inline_hits']:,.0f}"],
+        ["last run events", f"{s['last_run_events']:,.0f}"],
+        ["last run host wall", f"{s['last_run_wall_s'] * 1e3:,.2f} ms"],
+        ["last run events/sec", f"{s['last_run_events_per_sec']:,.0f}"],
+    ]
+    return "Simulator cost (host-side)\n" + _table(["counter", "value"], rows)
+
+
+def full_report(metrics: Metrics, freq_hz: Optional[int] = None, sim=None) -> str:
     """Everything, for dropping at the end of an experiment."""
     parts = [exit_report(metrics), "", cycle_report(metrics, freq_hz)]
     if metrics.interrupts:
         parts += ["", interrupt_report(metrics)]
+    if sim is not None:
+        parts += ["", simulator_report(sim)]
     summary = intervention_summary(metrics)
     parts += [
         "",

@@ -1,8 +1,12 @@
 """Tests for the bench harness (runners + formatters)."""
 
+import dataclasses
+import json
+
 import pytest
 
 from repro.bench.configs import (
+    CONFIG_SETS,
     FIG7_CONFIGS,
     FIG8_CONFIGS,
     FIG9_CONFIGS,
@@ -75,3 +79,44 @@ def test_migration_experiment_rows_and_format():
     supported = [r for r in rows if r.supported]
     assert len(supported) == len(rows) - 1
     assert all(r.total_s > 0 for r in supported)
+
+
+# ----------------------------------------------------------------------
+# Parallel harness
+# ----------------------------------------------------------------------
+def test_config_sets_registry_covers_every_figure():
+    assert set(CONFIG_SETS) == {"table3", "7", "8", "9", "10"}
+    assert CONFIG_SETS["7"] is FIG7_CONFIGS
+    assert CONFIG_SETS["table3"] is TABLE3_CONFIGS
+
+
+def _figure_bytes(result) -> bytes:
+    """Canonical serialization of a FigureResult for equality checks."""
+    payload = {
+        "title": result.title,
+        "configs": result.configs,
+        "overheads": result.overheads,
+        "native": {k: dataclasses.asdict(v) for k, v in result.native.items()},
+    }
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def test_figure_parallel_results_byte_identical_to_serial():
+    """Same seed, serial vs --jobs N: byte-identical FigureResult."""
+    scales = {0: 0.1, 1: 0.1, 2: 0.1}
+    serial = run_figure7(apps=["netperf_rr"], scales=scales)
+    parallel = run_figure7(apps=["netperf_rr"], scales=scales, jobs=2)
+    assert _figure_bytes(parallel) == _figure_bytes(serial)
+
+
+def test_table3_parallel_results_identical_to_serial():
+    serial = run_table3(iterations=3, benches=["Hypercall", "SendIPI"])
+    parallel = run_table3(iterations=3, benches=["Hypercall", "SendIPI"], jobs=2)
+    assert dataclasses.asdict(parallel) == dataclasses.asdict(serial)
+    assert list(parallel.cells) == list(serial.cells)
+
+
+def test_jobs_zero_means_auto_and_stays_deterministic():
+    serial = run_table3(iterations=2, benches=["Hypercall"])
+    auto = run_table3(iterations=2, benches=["Hypercall"], jobs=0)
+    assert dataclasses.asdict(auto) == dataclasses.asdict(serial)

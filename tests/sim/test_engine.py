@@ -250,3 +250,120 @@ def test_float_delay_truncated_to_int_time():
     sim.run_process(proc())
     assert isinstance(sim.now, int)
     assert sim.now == 10
+
+
+def test_max_events_budget_is_per_call():
+    """A fresh ``run(max_events=n)`` gets a fresh budget of n — it must
+    not be charged for events executed by earlier run() calls."""
+    sim = Simulator()
+    hits = []
+    for i in range(10):
+        sim.call_after(i + 1, lambda i=i: hits.append(i))
+    sim.run(max_events=3)
+    assert hits == [0, 1, 2]
+    sim.run(max_events=3)
+    assert hits == [0, 1, 2, 3, 4, 5]
+    sim.run(max_events=3)
+    assert hits == [0, 1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def test_max_events_counts_process_steps():
+    sim = Simulator()
+    steps = []
+
+    def proc():
+        for i in range(100):
+            steps.append(i)
+            yield 1
+
+    sim.spawn(proc(), "p")
+    sim.run(max_events=5)
+    done_after_first = len(steps)
+    assert 0 < done_after_first < 100
+    sim.run(max_events=5)
+    assert len(steps) > done_after_first  # fresh budget made progress
+    sim.run()
+    assert len(steps) == 100
+
+
+def test_fast_path_preserves_event_callback_interleaving():
+    """A callback scheduled for the current time before a resume was
+    queued must still run first (global seq order among same-time work)."""
+    sim = Simulator()
+    order = []
+    ev = sim.event()
+
+    def waiter():
+        yield ev
+        order.append("resumed")
+
+    def driver():
+        yield 10
+        # At t=10: schedule a callback, then trigger the event.  The
+        # callback has the smaller sequence number and must win.
+        sim.call_after(0, lambda: order.append("callback"))
+        ev.trigger()
+        order.append("driver-continues")
+        yield 1
+
+    sim.spawn(waiter(), "w")
+    sim.spawn(driver(), "d")
+    sim.run()
+    assert order == ["driver-continues", "callback", "resumed"]
+
+
+def test_inline_advance_does_not_skip_same_time_callbacks():
+    """A delay yield may not advance past a callback scheduled at the
+    exact expiry time."""
+    sim = Simulator()
+    order = []
+    sim.call_after(50, lambda: order.append(("cb", sim.now)))
+
+    def proc():
+        yield 50
+        order.append(("proc", sim.now))
+
+    sim.spawn(proc(), "p")
+    sim.run()
+    assert order == [("cb", 50), ("proc", 50)]
+
+
+def test_stats_counters():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        yield ev
+
+    def firer():
+        yield 10
+        ev.trigger()
+        yield 5
+
+    sim.spawn(waiter(), "w")
+    sim.spawn(firer(), "f")
+    sim.run()
+    s = sim.stats()
+    assert s["events_executed"] > 0
+    assert s["ready_hits"] > 0  # spawns and the event resume
+    assert s["pending_events"] == 0
+    assert s["last_run_events"] == s["events_executed"]
+    assert s["last_run_wall_s"] >= 0.0
+    assert s["last_run_events_per_sec"] >= 0.0
+
+
+def test_stats_last_run_resets_per_call():
+    sim = Simulator()
+
+    def proc(n):
+        for _ in range(n):
+            yield 1
+
+    sim.spawn(proc(50), "a")
+    sim.run()
+    first_total = sim.stats()["events_executed"]
+    sim.spawn(proc(2), "b")
+    sim.run()
+    s = sim.stats()
+    assert s["events_executed"] > first_total  # lifetime accumulates
+    assert s["last_run_events"] < first_total  # last-run is per call
