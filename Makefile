@@ -1,6 +1,6 @@
 # Convenience targets for the DVH reproduction.
 
-.PHONY: install test bench bench-perf figures examples clean
+.PHONY: install test bench bench-perf fuzz fuzz-smoke figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,14 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Trap-chain fuzzing (see docs/faults.md).  The smoke run is wired into
+# CI; the full campaign is the documented 500-episode sweep.
+fuzz:
+	PYTHONPATH=src python -m repro faults fuzz --episodes 500 --seed 1
+
+fuzz-smoke:
+	PYTHONPATH=src python -m repro faults fuzz --episodes 25 --seed 1
 
 # Host-performance regression baselines (see docs/performance.md).
 bench-perf:

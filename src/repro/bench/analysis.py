@@ -12,7 +12,7 @@ interventions down per transaction and per reason.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.features import DvhFeatures
@@ -51,11 +51,12 @@ def exit_breakdown(
     app: str,
     configs: Optional[List[Tuple[str, Callable[[], StackConfig]]]] = None,
     scale: float = 0.3,
+    seed: int = 0,
 ) -> List[BreakdownRow]:
     """Measure the exit profile of ``app`` under each configuration."""
     rows: List[BreakdownRow] = []
     for name, factory in configs or DEFAULT_BREAKDOWN_CONFIGS:
-        stack = build_stack(factory())
+        stack = build_stack(replace(factory(), seed=seed))
         stack.settle()
         before = stack.metrics.copy()
         result = run_app(stack, app, scale=scale)

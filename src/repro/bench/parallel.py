@@ -57,24 +57,29 @@ def map_cells(
 # ----------------------------------------------------------------------
 # Cell workers (module-level so they pickle under the spawn start method)
 # ----------------------------------------------------------------------
-def table3_cell(task: Tuple[str, int, int]) -> float:
-    """One Table-3 cell: (bench, config index, iterations) -> cycles."""
-    bench, config_index, iterations = task
+def table3_cell(task: Tuple[str, int, int, int]) -> float:
+    """One Table-3 cell: (bench, config index, iterations, seed) -> cycles."""
+    bench, config_index, iterations, seed = task
+    from dataclasses import replace
+
     from repro.bench.configs import TABLE3_CONFIGS
     from repro.hv.stack import build_stack
     from repro.workloads.microbench import run_microbenchmark
 
     _name, factory = TABLE3_CONFIGS[config_index]
-    return run_microbenchmark(build_stack(factory()), bench, iterations)
+    stack = build_stack(replace(factory(), seed=seed))
+    return run_microbenchmark(stack, bench, iterations)
 
 
-def app_cell(task: Tuple[str, int, str, float]):
+def app_cell(task: Tuple[str, int, str, float, int]):
     """One application-figure cell:
-    (config-set key, config index, app, scale) -> AppResult."""
-    configs_key, config_index, app, scale = task
+    (config-set key, config index, app, scale, seed) -> AppResult."""
+    configs_key, config_index, app, scale, seed = task
+    from dataclasses import replace
+
     from repro.bench.configs import CONFIG_SETS
     from repro.hv.stack import build_stack
     from repro.workloads.apps import run_app
 
     _name, factory = CONFIG_SETS[configs_key][config_index]
-    return run_app(build_stack(factory()), app, scale=scale)
+    return run_app(build_stack(replace(factory(), seed=seed)), app, scale=scale)

@@ -7,7 +7,7 @@ paper's row/series format.  Everything is deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.features import DvhFeatures
@@ -80,17 +80,19 @@ def run_table3(
     iterations: int = 30,
     benches: Optional[List[str]] = None,
     jobs: int = 1,
+    seed: int = 0,
 ) -> Table3Result:
     """Regenerate Table 3: microbenchmark cycle costs.
 
     ``jobs`` fans the (bench, config) cells over worker processes
-    (0 = one per CPU); results are identical to a serial run.
+    (0 = one per CPU); results are identical to a serial run.  ``seed``
+    reseeds every cell's stack (same seed, same table).
     """
     benches = list(benches) if benches is not None else list(MICROBENCHMARKS)
     result = Table3Result(configs=[name for name, _ in TABLE3_CONFIGS])
     if jobs != 1:
         tasks = [
-            (bench, i, iterations)
+            (bench, i, iterations, seed)
             for bench in benches
             for i in range(len(TABLE3_CONFIGS))
         ]
@@ -101,7 +103,7 @@ def run_table3(
     for bench in benches:
         row: Dict[str, float] = {}
         for config_name, factory in TABLE3_CONFIGS:
-            stack = build_stack(factory())
+            stack = build_stack(replace(factory(), seed=seed))
             row[config_name] = run_microbenchmark(stack, bench, iterations)
         result.cells[bench] = row
     return result
@@ -115,20 +117,21 @@ def _run_app_figure(
     scales: Optional[Dict[int, float]] = None,
     jobs: int = 1,
     configs_key: Optional[str] = None,
+    seed: int = 0,
 ) -> FigureResult:
     scales = scales or DEFAULT_SCALES
     apps = list(apps) if apps is not None else app_names()
     result = FigureResult(title=title, configs=[n for n, _ in configs if n != "native"])
     # Build each configuration once; the levels (for the uniform scale)
     # and every per-app stack reuse the same validated StackConfig.
-    built = [(name, factory()) for name, factory in configs]
+    built = [(name, replace(factory(), seed=seed)) for name, factory in configs]
     # One uniform scale per figure (the smallest across its levels), so
     # elapsed-time workloads compare equal transaction counts and warmup
     # edge effects cancel in the overhead ratio.
     uniform_scale = min(scales.get(config.levels, 0.3) for _name, config in built)
     if jobs != 1 and configs_key is not None:
         tasks = [
-            (configs_key, i, app, uniform_scale)
+            (configs_key, i, app, uniform_scale, seed)
             for app in apps
             for i in range(len(configs))
         ]
@@ -156,7 +159,7 @@ def _run_app_figure(
     return result
 
 
-def run_figure7(apps=None, scales=None, jobs: int = 1) -> FigureResult:
+def run_figure7(apps=None, scales=None, jobs: int = 1, seed: int = 0) -> FigureResult:
     """Application performance, six configurations (Figure 7)."""
     return _run_app_figure(
         "Figure 7: Application performance",
@@ -165,10 +168,11 @@ def run_figure7(apps=None, scales=None, jobs: int = 1) -> FigureResult:
         scales,
         jobs=jobs,
         configs_key="7",
+        seed=seed,
     )
 
 
-def run_figure8(apps=None, scales=None, jobs: int = 1) -> FigureResult:
+def run_figure8(apps=None, scales=None, jobs: int = 1, seed: int = 0) -> FigureResult:
     """Incremental DVH breakdown (Figure 8)."""
     return _run_app_figure(
         "Figure 8: Application performance breakdown",
@@ -177,10 +181,11 @@ def run_figure8(apps=None, scales=None, jobs: int = 1) -> FigureResult:
         scales,
         jobs=jobs,
         configs_key="8",
+        seed=seed,
     )
 
 
-def run_figure9(apps=None, scales=None, jobs: int = 1) -> FigureResult:
+def run_figure9(apps=None, scales=None, jobs: int = 1, seed: int = 0) -> FigureResult:
     """Application performance in an L3 VM (Figure 9)."""
     return _run_app_figure(
         "Figure 9: Application performance in L3 VM",
@@ -189,10 +194,11 @@ def run_figure9(apps=None, scales=None, jobs: int = 1) -> FigureResult:
         scales,
         jobs=jobs,
         configs_key="9",
+        seed=seed,
     )
 
 
-def run_figure10(apps=None, scales=None, jobs: int = 1) -> FigureResult:
+def run_figure10(apps=None, scales=None, jobs: int = 1, seed: int = 0) -> FigureResult:
     """Xen as guest hypervisor on KVM (Figure 10)."""
     return _run_app_figure(
         "Figure 10: Application performance, Xen on KVM",
@@ -201,10 +207,13 @@ def run_figure10(apps=None, scales=None, jobs: int = 1) -> FigureResult:
         scales,
         jobs=jobs,
         configs_key="10",
+        seed=seed,
     )
 
 
-def run_figure(which: str, apps=None, scales=None, jobs: int = 1) -> FigureResult:
+def run_figure(
+    which: str, apps=None, scales=None, jobs: int = 1, seed: int = 0
+) -> FigureResult:
     """Dispatch by figure number ("7", "8", "9", "10")."""
     runners = {
         "7": run_figure7,
@@ -213,19 +222,19 @@ def run_figure(which: str, apps=None, scales=None, jobs: int = 1) -> FigureResul
         "10": run_figure10,
     }
     try:
-        return runners[str(which)](apps=apps, scales=scales, jobs=jobs)
+        return runners[str(which)](apps=apps, scales=scales, jobs=jobs, seed=seed)
     except KeyError:
         raise ValueError(f"no such figure: {which}") from None
 
 
 # ----------------------------------------------------------------------
-def run_migration_experiment() -> List[MigrationRow]:
+def run_migration_experiment(seed: int = 0) -> List[MigrationRow]:
     """The §4 migration experiment: migrate VMs and nested VMs using
     paravirtual I/O vs DVH; passthrough cannot migrate at all."""
     rows: List[MigrationRow] = []
 
     def migrate(scenario: str, config: StackConfig, scope: str) -> None:
-        stack = build_stack(config)
+        stack = build_stack(replace(config, seed=seed))
         stack.settle()
         vm = stack.leaf_vm if scope == "nested" else stack.vms[0]
         devices = []

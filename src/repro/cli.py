@@ -8,6 +8,12 @@ Usage (after ``pip install -e .``)::
     python -m repro migration
     python -m repro micro ProgramTimer --levels 2 --dvh full
     python -m repro app memcached --levels 2 --io vp --dvh full --report
+    python -m repro faults fuzz --episodes 500 --seed 1
+    python -m repro faults plan --levels 2 --io vp --dvh full
+
+Every subcommand accepts ``--seed`` (before or after the subcommand
+name): it reseeds the simulated stacks, so the same seed reproduces the
+same run bit for bit.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.features import DvhFeatures
+from repro.faults.plan import FaultClass
 from repro.hv.stack import StackConfig, build_stack
 from repro.workloads.apps import app_names, run_app
 from repro.workloads.microbench import MICROBENCHMARKS, run_microbenchmark
@@ -38,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
             "and figures, or run individual workloads on any configuration."
         ),
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="global simulation seed (same seed, same run, bit for bit)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_jobs_arg(p):
@@ -48,8 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for independent cells (0 = one per CPU)",
         )
 
+    def add_seed_arg(p):
+        # SUPPRESS keeps a pre-subcommand `--seed N` from being clobbered
+        # by the subparser's default when the flag follows the subcommand.
+        p.add_argument(
+            "--seed", type=int, default=argparse.SUPPRESS, help="simulation seed"
+        )
+
     t3 = sub.add_parser("table3", help="Table 3: microbenchmark cycles")
     add_jobs_arg(t3)
+    add_seed_arg(t3)
 
     fig = sub.add_parser("figure", help="Figures 7/8/9/10: application overheads")
     fig.add_argument("number", choices=["7", "8", "9", "10"])
@@ -59,8 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true", help="render as an ASCII bar chart"
     )
     add_jobs_arg(fig)
+    add_seed_arg(fig)
 
-    sub.add_parser("migration", help="the Section 4 migration experiment")
+    mig = sub.add_parser("migration", help="the Section 4 migration experiment")
+    add_seed_arg(mig)
 
     def add_stack_args(p):
         p.add_argument("--levels", type=int, default=2, choices=[0, 1, 2, 3, 4, 5])
@@ -74,12 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
     micro.add_argument("name", choices=sorted(MICROBENCHMARKS))
     micro.add_argument("--iterations", type=int, default=30)
     add_stack_args(micro)
+    add_seed_arg(micro)
 
     analyze = sub.add_parser(
         "analyze", help="exit breakdown: why a workload is slow per config"
     )
     analyze.add_argument("name", choices=app_names())
     analyze.add_argument("--scale", type=float, default=0.25)
+    add_seed_arg(analyze)
 
     app = sub.add_parser("app", help="one Table 2 application benchmark")
     app.add_argument("name", choices=app_names())
@@ -88,6 +113,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true", help="print the exit/cycle report"
     )
     add_stack_args(app)
+    add_seed_arg(app)
+
+    faults = sub.add_parser(
+        "faults", help="fault injection: run a plan or a fuzz campaign"
+    )
+    fsub = faults.add_subparsers(dest="mode", required=True)
+
+    fuzz = fsub.add_parser(
+        "fuzz", help="trap-chain fuzz campaign with per-episode invariants"
+    )
+    fuzz.add_argument("--episodes", type=int, default=500)
+    fuzz.add_argument(
+        "--levels", type=int, nargs="*", default=[0, 1, 2, 3], choices=[0, 1, 2, 3]
+    )
+    fuzz.add_argument("--intensity", type=float, default=0.08)
+    fuzz.add_argument("--ops", type=int, default=20, help="ops per worker vCPU")
+    fuzz.add_argument(
+        "--replay-every",
+        type=int,
+        default=10,
+        help="replay every Nth episode and require a byte-identical digest",
+    )
+    fuzz.add_argument(
+        "--verbose", action="store_true", help="print failing episodes' plans"
+    )
+    add_seed_arg(fuzz)
+
+    plan = fsub.add_parser(
+        "plan", help="one seed-derived fault plan against one stack"
+    )
+    plan.add_argument(
+        "--classes",
+        nargs="*",
+        choices=sorted(FaultClass.ALL),
+        default=None,
+        help="fault classes to draw from (default: all non-migration classes)",
+    )
+    plan.add_argument("--intensity", type=float, default=0.05)
+    plan.add_argument("--ops", type=int, default=30, help="ops per worker vCPU")
+    plan.add_argument(
+        "--report", action="store_true", help="print the full exit/cycle report"
+    )
+    add_stack_args(plan)
+    add_seed_arg(plan)
 
     return parser
 
@@ -106,6 +175,7 @@ def _stack_config(args) -> StackConfig:
         io_model=io,
         dvh=DVH_PRESETS[args.dvh](),
         guest_hv=args.guest_hv,
+        seed=args.seed,
     )
 
 
@@ -115,7 +185,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table3":
         from repro.bench import format_table3, run_table3
 
-        print(format_table3(run_table3(jobs=args.jobs)))
+        print(format_table3(run_table3(jobs=args.jobs, seed=args.seed)))
         return 0
 
     if args.command == "figure":
@@ -124,7 +194,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         scales = None
         if args.scale is not None:
             scales = {lvl: args.scale for lvl in range(6)}
-        result = run_figure(args.number, apps=args.apps, scales=scales, jobs=args.jobs)
+        result = run_figure(
+            args.number,
+            apps=args.apps,
+            scales=scales,
+            jobs=args.jobs,
+            seed=args.seed,
+        )
         if args.chart:
             from repro.bench.plot import ascii_figure
 
@@ -136,7 +212,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "migration":
         from repro.bench import format_migration, run_migration_experiment
 
-        print(format_migration(run_migration_experiment()))
+        print(format_migration(run_migration_experiment(seed=args.seed)))
         return 0
 
     if args.command == "micro":
@@ -151,9 +227,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "analyze":
         from repro.bench.analysis import exit_breakdown, format_breakdown
 
-        rows = exit_breakdown(args.name, scale=args.scale)
+        rows = exit_breakdown(args.name, scale=args.scale, seed=args.seed)
         print(format_breakdown(rows, app=args.name))
         return 0
+
+    if args.command == "faults":
+        return _run_faults(args)
 
     if args.command == "app":
         stack = build_stack(_stack_config(args))
@@ -171,6 +250,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _run_faults(args) -> int:
+    """The ``faults`` subcommand: fuzz campaigns and single plan runs."""
+    if args.mode == "fuzz":
+        from repro.faults import TrapChainFuzzer, render_campaign
+
+        fuzzer = TrapChainFuzzer(
+            seed=args.seed,
+            episodes=args.episodes,
+            levels=tuple(args.levels),
+            ops_per_worker=args.ops,
+            intensity=args.intensity,
+            replay_every=args.replay_every,
+        )
+        campaign = fuzzer.run()
+        print(render_campaign(campaign, verbose=args.verbose))
+        return 0 if campaign.ok else 1
+
+    # mode == "plan": one seed-derived plan against one configured stack.
+    from repro.faults import (
+        FaultPlan,
+        build_faulted_stack,
+        check_invariants,
+        render_plan_run,
+        run_fault_workload,
+    )
+    from repro.faults.fuzz import FUZZ_CLASSES
+
+    config = _stack_config(args)
+    classes = args.classes if args.classes else FUZZ_CLASSES
+    plan = FaultPlan.random(args.seed, classes=classes, intensity=args.intensity)
+    stack, injector = build_faulted_stack(config, plan, seed=args.seed)
+    violations = []
+    ops = {}
+    try:
+        ops = run_fault_workload(stack, ops_per_worker=args.ops, seed=args.seed)
+    except RuntimeError as exc:
+        violations.append(f"stranded: {exc}")
+    violations.extend(check_invariants(stack, injector))
+    print(render_plan_run(stack, injector, ops=ops))
+    if args.report:
+        from repro.metrics.report import full_report
+
+        print()
+        print(full_report(stack.metrics, stack.machine.freq_hz, sim=stack.sim))
+    if violations:
+        print()
+        print(f"INVARIANT VIOLATIONS ({len(violations)}):")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

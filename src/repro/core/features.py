@@ -11,8 +11,27 @@ capability bits and *enable* them through VM-execution-control bits
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Iterable, List, Tuple
 
-__all__ = ["DvhFeatures"]
+__all__ = ["DvhFeatures", "DVH_MECHANISMS", "negotiate", "fallback_io_model"]
+
+#: Every negotiable DVH mechanism, in capability-bit order.
+DVH_MECHANISMS = (
+    "virtual_passthrough",
+    "viommu_posted_interrupts",
+    "virtual_ipi",
+    "virtual_timer",
+    "virtual_idle",
+    "vtimer_direct_delivery",
+)
+
+#: Mechanisms that only work when another mechanism negotiated too
+#: (posted vIOMMU interrupts target virtually-passed-through devices;
+#: direct timer delivery needs the host-emulated virtual timer).
+_DEPENDS_ON = {
+    "viommu_posted_interrupts": "virtual_passthrough",
+    "vtimer_direct_delivery": "virtual_timer",
+}
 
 
 @dataclass(frozen=True)
@@ -80,3 +99,44 @@ class DvhFeatures:
                 self.virtual_idle,
             )
         )
+
+
+# ----------------------------------------------------------------------
+# Capability negotiation with graceful degradation (see repro.faults)
+# ----------------------------------------------------------------------
+def negotiate(
+    requested: DvhFeatures, faulted: Iterable[str] = ()
+) -> Tuple[DvhFeatures, List[str]]:
+    """Intersect the requested DVH mechanisms with what capability
+    discovery actually reports.
+
+    ``faulted`` names mechanisms whose VMX capability bits read as
+    unavailable (a flaky or hostile host, or an injected capability
+    fault).  Returns the degraded feature set plus the list of requested
+    mechanisms that were dropped — dropping a mechanism also drops
+    anything depending on it, mirroring the recursive AND-combining of
+    §3.5: a level only offers what every level below it offers.
+    """
+    faulted = set(faulted)
+    unknown = faulted - set(DVH_MECHANISMS)
+    if unknown:
+        raise ValueError(f"unknown DVH mechanisms: {sorted(unknown)}")
+    dropped: List[str] = []
+    granted = requested
+    for mech in DVH_MECHANISMS:
+        if not getattr(granted, mech):
+            continue
+        dep = _DEPENDS_ON.get(mech)
+        if mech in faulted or (dep is not None and not getattr(granted, dep)):
+            granted = granted.with_(**{mech: False})
+            dropped.append(mech)
+    return granted, dropped
+
+
+def fallback_io_model(io_model: str, features: DvhFeatures) -> str:
+    """The I/O model a stack can actually run after negotiation:
+    virtual-passthrough falls back to the paravirtual virtio cascade
+    when the ``virtual_passthrough`` capability did not negotiate."""
+    if io_model == "vp" and not features.virtual_passthrough:
+        return "virtio"
+    return io_model

@@ -37,12 +37,21 @@ from repro.hv.passthrough import MigrationNotSupported
 
 __all__ = [
     "MigrationResult",
+    "MigrationError",
     "LiveMigration",
     "add_migration_capability",
     "capture_device_state",
     "set_device_dirty_logging",
     "MigrationNotSupported",
 ]
+
+
+class MigrationError(RuntimeError):
+    """A migration failed: the wire stayed down past the retry budget,
+    or dirty pages did not converge within the round budget while a hard
+    downtime limit was set.  Distinct from
+    :class:`MigrationNotSupported`, which means migration could never
+    have been attempted."""
 
 #: Memory-footprint divisor: the simulated transfer moves 1/512 of the
 #: configured VM memory (so a 12 GB nested VM transfers 24 MB of
@@ -117,6 +126,8 @@ class MigrationResult:
     bytes_transferred: int
     device_state_bytes: int
     dvh_state_saved: bool
+    #: Transfer attempts repeated after a link flap (0 on a clean wire).
+    retries: int = 0
 
 
 class LiveMigration:
@@ -135,6 +146,9 @@ class LiveMigration:
         bandwidth_bps: Optional[float] = None,
         downtime_target_s: float = 0.03,
         max_rounds: int = 30,
+        downtime_limit_s: Optional[float] = None,
+        max_retries: int = 5,
+        retry_backoff_cycles: int = 200_000,
     ) -> None:
         self.machine = machine
         self.vm = vm
@@ -144,11 +158,56 @@ class LiveMigration:
         )
         self.downtime_target_s = downtime_target_s
         self.max_rounds = max_rounds
+        #: Hard downtime bound (opt-in): when set and pre-copy fails to
+        #: converge within ``max_rounds``, raise :class:`MigrationError`
+        #: instead of eating an unbounded stop-and-copy.
+        self.downtime_limit_s = downtime_limit_s
+        self.max_retries = max_retries
+        self.retry_backoff_cycles = retry_backoff_cycles
+        #: Transfer attempts repeated after link flaps (see faults).
+        self.retries = 0
 
     # ------------------------------------------------------------------
     def _transfer_cycles(self, nbytes: int) -> int:
         sim = self.machine.sim
         return max(1, sim.cycles(nbytes * 8 / self.bandwidth_bps))
+
+    def _transfer(self, nbytes: int) -> Generator:
+        """Move ``nbytes`` over the migration wire.
+
+        Consults the machine's attached fault injector (if any) for link
+        flaps, packet loss and bandwidth degradation.  A down link is
+        retried with bounded exponential backoff — each successful retry
+        is a counted recovery; exhausting the budget raises
+        :class:`MigrationError` (the round stays resumable: dirty state
+        survives in the logs)."""
+        faults = getattr(self.machine, "faults", None)
+        if faults is None:
+            yield self._transfer_cycles(nbytes)
+            return
+        attempt = 0
+        backoff = self.retry_backoff_cycles
+        while faults.migration_link_down():
+            attempt += 1
+            if attempt > self.max_retries:
+                raise MigrationError(
+                    f"{self.vm.name}: migration link down after "
+                    f"{self.max_retries} retries"
+                )
+            yield backoff
+            backoff = min(backoff * 2, 16 * self.retry_backoff_cycles)
+        if attempt:
+            self.retries += attempt
+            self.machine.metrics.record_recovery("migration_retry", attempt)
+        # Lost packets are retransmitted: more bytes on the wire.
+        loss = max(0.0, faults.migration_loss_rate())
+        effective = int(nbytes * (1.0 + loss))
+        cycles = self._transfer_cycles(effective)
+        # Degraded bandwidth stretches the same transfer.
+        factor = max(0.05, faults.migration_bandwidth_factor())
+        if factor != 1.0:
+            cycles = max(1, int(cycles / factor))
+        yield cycles
 
     def _footprint_pages(self) -> int:
         base = self.vm.memory.size_bytes // FOOTPRINT_DIVISOR // PAGE_SIZE
@@ -198,24 +257,26 @@ class LiveMigration:
         pages = self._footprint_pages()
         nbytes = pages * PAGE_SIZE
         total_bytes += nbytes
-        yield self._transfer_cycles(nbytes)
+        yield from self._transfer(nbytes)
         rounds = 1
 
         # --- Iterative pre-copy --------------------------------------
         # Pages drained for the convergence check but not re-copied yet
         # must carry into stop-and-copy, or they'd be silently lost.
         pending: Set[int] = set()
+        converged = False
         while rounds < self.max_rounds:
             pending |= set(cpu_log.drain())
             for log in device_logs:
                 pending |= log.drain()
             nbytes = len(pending) * PAGE_SIZE
             if nbytes * 8 / self.bandwidth_bps <= self.downtime_target_s:
+                converged = True
                 break
             total_bytes += nbytes
             rounds += 1
             pending = set()
-            yield self._transfer_cycles(nbytes)
+            yield from self._transfer(nbytes)
 
         # --- Stop and copy --------------------------------------------
         for _device, backend in backends:
@@ -228,8 +289,26 @@ class LiveMigration:
         device_state = 0
         for device, backend in backends:
             device_state += capture_device_state(device, backend)
+        if self.downtime_limit_s is not None and not converged:
+            projected_s = sim.seconds(
+                self._transfer_cycles(nbytes + device_state) + SWITCHOVER_CYCLES
+            )
+            if projected_s > self.downtime_limit_s:
+                # Abort cleanly: detach logging and let the source VM
+                # keep running at full speed.
+                self.vm.memory.detach_dirty_log(cpu_log)
+                for device, backend in backends:
+                    set_device_dirty_logging(device, backend, None)
+                    backend.resume()
+                raise MigrationError(
+                    f"{self.vm.name}: dirty pages did not converge within "
+                    f"{self.max_rounds} rounds (projected downtime "
+                    f"{projected_s * 1e3:.1f} ms > limit "
+                    f"{self.downtime_limit_s * 1e3:.1f} ms)"
+                )
         total_bytes += nbytes + device_state
-        yield self._transfer_cycles(nbytes + device_state) + SWITCHOVER_CYCLES
+        yield from self._transfer(nbytes + device_state)
+        yield SWITCHOVER_CYCLES
         downtime = sim.now - downtime_start
 
         # --- Cleanup ---------------------------------------------------
@@ -246,4 +325,5 @@ class LiveMigration:
             bytes_transferred=total_bytes,
             device_state_bytes=device_state,
             dvh_state_saved=dvh_state_saved,
+            retries=self.retries,
         )

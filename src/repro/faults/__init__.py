@@ -1,0 +1,44 @@
+"""repro.faults — deterministic fault injection and trap-chain fuzzing.
+
+The subsystem has three parts (see docs/faults.md):
+
+* :mod:`repro.faults.plan` / :mod:`repro.faults.injector` — declarative,
+  seed-reproducible fault plans and the injector that turns them into
+  hook installs and scheduled events on one machine;
+* hypervisor *hardening* living in the subsystems themselves (bounded
+  migration retries, virtio notification-timeout requeues,
+  malformed-descriptor drops, DMA aborts, DVH capability fallback), all
+  counted in :class:`repro.metrics.Metrics`;
+* :mod:`repro.faults.fuzz` — NecoFuzz-style trap-chain fuzzing with
+  per-episode invariants and byte-identical replay.
+"""
+
+from repro.faults.fuzz import (
+    CampaignResult,
+    EpisodeResult,
+    TrapChainFuzzer,
+    build_faulted_stack,
+    check_invariants,
+    state_digest,
+)
+from repro.faults.injector import FaultInjector, degrade_config
+from repro.faults.plan import FaultClass, FaultPlan, FaultSpec
+from repro.faults.report import render_campaign, render_plan_run
+from repro.faults.workload import run_fault_workload
+
+__all__ = [
+    "FaultClass",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "degrade_config",
+    "TrapChainFuzzer",
+    "EpisodeResult",
+    "CampaignResult",
+    "build_faulted_stack",
+    "check_invariants",
+    "state_digest",
+    "run_fault_workload",
+    "render_campaign",
+    "render_plan_run",
+]

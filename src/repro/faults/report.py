@@ -1,0 +1,69 @@
+"""Rendering for fault-injection runs and fuzz campaigns."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.metrics.report import _table, fault_report
+
+__all__ = ["render_plan_run", "render_campaign"]
+
+
+def render_plan_run(stack, injector, ops=None) -> str:
+    """Report for one plan run: the plan, what fired, what recovered."""
+    parts: List[str] = [
+        f"Fault plan (seed {injector.seed}):",
+        injector.plan.describe(),
+        "",
+    ]
+    if ops:
+        rows = [[name, str(n)] for name, n in sorted(ops.items())]
+        parts += ["Workload ops", _table(["op", "count"], rows), ""]
+    parts.append(fault_report(stack.metrics))
+    metrics = stack.metrics
+    parts += [
+        "",
+        (
+            f"{metrics.total_faults():,} faults injected, "
+            f"{metrics.total_recoveries():,} recoveries, "
+            f"{metrics.total_exits():,} hardware exits, "
+            f"sim clock {stack.sim.now:,} cycles"
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def render_campaign(campaign, verbose: bool = False) -> str:
+    """Report for a fuzz campaign: per-class totals, episode failures."""
+    episodes = campaign.episodes
+    replayed = sum(1 for e in episodes if e.replay_checked)
+    parts: List[str] = [
+        f"Fuzz campaign: seed {campaign.seed}, {len(episodes)} episodes, "
+        f"{replayed} replay-verified",
+        "",
+    ]
+    rows = [
+        [kind, str(n)] for kind, n in sorted(campaign.injected_totals().items())
+    ] or [["(none)", "0"]]
+    parts += ["Injected faults", _table(["class", "count"], rows), ""]
+    rows = [
+        [kind, str(n)] for kind, n in sorted(campaign.recovery_totals().items())
+    ] or [["(none)", "0"]]
+    parts += ["Recoveries", _table(["class", "count"], rows), ""]
+
+    failures = campaign.failures
+    if failures:
+        parts.append(f"FAILURES ({len(failures)}):")
+        for episode in failures:
+            parts.append(
+                f"  episode {episode.index} (seed {episode.seed}, "
+                f"{episode.config_desc}):"
+            )
+            for violation in episode.violations:
+                parts.append(f"    - {violation}")
+            if verbose:
+                for line in episode.plan_desc.splitlines():
+                    parts.append(f"    plan: {line}")
+    else:
+        parts.append("All invariants green.")
+    return "\n".join(parts)

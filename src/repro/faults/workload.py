@@ -1,0 +1,153 @@
+"""Loss-tolerant privileged-operation workload for fault runs.
+
+The regular application engines assume a reliable datapath (every
+request eventually gets its response).  Under injected faults that
+assumption is exactly what we break, so fault campaigns drive this
+*op soup* instead: every worker executes a seed-determined interleaving
+of privileged operations — hypercalls, doorbells, timer programmings,
+IPIs, idle blocking, ring polling — none of which ever waits on a
+specific packet.  Blocking waits always arm a safety timer first, so a
+dropped interrupt costs latency, never liveness.
+
+The interleavings cover the trap chains the paper's mechanisms
+shorten: each op lands in L0's exit dispatcher and is either emulated
+there (DVH) or forwarded up the hypervisor stack, so a fuzzed schedule
+of ops *is* a fuzzed schedule of trap chains through native/L1/L2/L3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generator, List, Optional
+
+from repro.hw.lapic import IPI_RESCHEDULE_VECTOR, TIMER_VECTOR, VIRTIO_VECTOR_BASE
+from repro.hw.ops import Op
+
+__all__ = ["run_fault_workload", "OPS"]
+
+#: Safety-timer horizon for blocking waits (must survive a dropped
+#: wakeup: generous but bounded).
+SAFETY_TIMER_CYCLES = 400_000
+
+#: The op vocabulary with selection weights (roughly matching how often
+#: real guests perform each privileged operation).
+OPS = (
+    ("hypercall", 3),
+    ("cpuid", 2),
+    ("send", 4),
+    ("timer", 3),
+    ("ipi", 2),
+    ("block", 3),
+    ("poll", 3),
+)
+
+
+def _weighted_ops(rng: random.Random, n: int) -> List[str]:
+    names = [name for name, _ in OPS]
+    weights = [w for _, w in OPS]
+    return rng.choices(names, weights=weights, k=n)
+
+
+def run_fault_workload(
+    stack,
+    ops_per_worker: int = 30,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    settle: bool = True,
+) -> Dict[str, int]:
+    """Run the op soup on a built stack; returns op counts actually
+    executed.  Deterministic: op schedules come from ``seed`` alone and
+    never from the simulator's generator.
+
+    Raises ``RuntimeError`` if any worker fails to finish — under the
+    safety-timer discipline that can only mean a genuinely lost wakeup,
+    which is exactly what fuzz invariants want to surface.
+    """
+    sim = stack.sim
+    machine = stack.machine
+    net = stack.net
+    nworkers = workers if workers is not None else len(stack.ctxs)
+    nworkers = min(nworkers, len(stack.ctxs))
+    executed: Dict[str, int] = {name: 0 for name, _ in OPS}
+
+    # RSS so each worker owns its queue (mirrors the app engines).
+    for i in range(nworkers):
+        if hasattr(net, "bind_queue"):
+            net.bind_queue(i, stack.ctxs[i], VIRTIO_VECTOR_BASE + i)
+
+    # The client echoes a small reply per soup packet, driving the RX
+    # half of every datapath.  Nobody *waits* for an echo, so losing
+    # one (or all) is harmless.
+    def echo(packet) -> None:
+        payload = packet.payload
+        if payload and isinstance(payload, tuple) and payload[0] == "soup":
+            machine.client.send(
+                stack.flow,
+                64,
+                payload=("echo",) + tuple(payload[1:]),
+                queue_hint=payload[1] % nworkers,
+            )
+
+    machine.client.on_receive(stack.flow, echo)
+
+    def worker(i: int) -> Generator:
+        ctx = stack.ctxs[i]
+        rng = random.Random(seed * 1_000_003 + i * 8_191 + 17)
+        schedule = _weighted_ops(rng, ops_per_worker)
+        timer_horizon = SAFETY_TIMER_CYCLES
+        for op in schedule:
+            executed[op] += 1
+            if op == "hypercall":
+                yield from ctx.execute(Op.VMCALL)
+            elif op == "cpuid":
+                yield from ctx.execute(Op.CPUID)
+            elif op == "send":
+                size = rng.choice((64, 512, 1448, 4096))
+                yield from net.send(
+                    size,
+                    payload=("soup", i, executed[op]),
+                    kick=True,
+                    queue=min(i, _num_queues(net) - 1),
+                    ctx=ctx,
+                )
+            elif op == "timer":
+                yield from ctx.program_timer(
+                    ctx.read_tsc() + rng.randrange(50_000, 1_000_000),
+                    TIMER_VECTOR,
+                )
+            elif op == "ipi":
+                target = (i + 1 + rng.randrange(max(1, nworkers - 1))) % nworkers
+                if target != i:
+                    yield from ctx.send_ipi(target, IPI_RESCHEDULE_VECTOR)
+            elif op == "block":
+                # Arm the safety timer *before* blocking: a dropped
+                # device interrupt then costs one timer period, never
+                # liveness.
+                yield from ctx.program_timer(
+                    ctx.read_tsc() + timer_horizon, TIMER_VECTOR
+                )
+                yield from ctx.wait_for_interrupt()
+                yield from ctx.irq_work()
+            elif op == "poll":
+                yield from net.poll_rx(
+                    queue=min(i, _num_queues(net) - 1), ctx=ctx
+                )
+            yield from ctx.compute(rng.randrange(1_000, 20_000))
+
+    if settle:
+        stack.settle()
+    procs = [
+        sim.spawn(worker(i), f"fault-soup-w{i}") for i in range(nworkers)
+    ]
+    sim.run()
+    stuck = [p.name for p in procs if not p.done]
+    if stuck:
+        raise RuntimeError(f"fault workload stranded workers: {stuck}")
+    return executed
+
+
+def _num_queues(net) -> int:
+    device = getattr(net, "device", None)
+    if device is not None:
+        return device.num_queue_pairs
+    return len(getattr(net, "_rx", {0: None}))

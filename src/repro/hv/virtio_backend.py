@@ -28,6 +28,8 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.hw.devices.nic import Packet, PhysicalNic, VirtualFunction
 from repro.hw.devices.virtio import VirtioDevice
+from repro.hw.ept import EptViolation
+from repro.hw.iommu import IommuFault
 from repro.hw.lapic import VIRTIO_VECTOR_BASE
 from repro.hw.mem import PAGE_SIZE, DirtyLog
 from repro.hw.ops import Op
@@ -41,6 +43,9 @@ __all__ = [
     "KICK_VECTOR",
     "RX_POOL_BASE",
     "TX_POOL_BASE",
+    "MAX_DESC_LEN",
+    "NOTIFY_TIMEOUT_CYCLES",
+    "descriptor_ok",
 ]
 
 #: Vector a backend vCPU receives when its guest kicks (ioeventfd wake).
@@ -53,6 +58,18 @@ QUEUE_POOL_STRIDE = 0x0800_0000
 IOEVENTFD_SIGNAL = 450
 #: Buffers posted per RX queue.
 RX_BUFFERS = 128
+#: Largest descriptor length a backend accepts; anything bigger (or
+#: non-positive, or with a negative address) is malformed and must be
+#: completed with zero bytes instead of moving garbage.
+MAX_DESC_LEN = 1 << 20
+#: Cycles a backend waits for an expected notification before its
+#: watchdog re-checks the rings (the requeue path for lost kicks).
+NOTIFY_TIMEOUT_CYCLES = 500_000
+
+
+def descriptor_ok(addr: int, length: int) -> bool:
+    """Sanity-check a descriptor a backend is about to service."""
+    return 0 <= addr and 0 < length <= MAX_DESC_LEN
 
 
 class VirtioDriver:
@@ -275,7 +292,14 @@ class VfNicDriver:
         q = packet.queue_hint if packet.queue_hint in self._queue_dest else 0
         iova = RX_POOL_BASE + (self._rx_slot % RX_BUFFERS) * self.buf_size
         self._rx_slot += 1
-        host_addr = machine.iommu.translate(self.vf, iova, write=True)
+        try:
+            host_addr = machine.iommu.translate(self.vf, iova, write=True)
+        except IommuFault:
+            # The IOMMU blocked the DMA write: the packet is dropped on
+            # the floor, exactly like real VT-d fault-logging hardware.
+            machine.metrics.record_recovery("dma_abort")
+            machine.metrics.count("rx_drops")
+            return
         machine.memory.write_range(host_addr, min(packet.size, self.buf_size))
         self._rx[q].append(packet)
         ctx, vector = self._queue_dest[q]
@@ -296,7 +320,11 @@ class VfNicDriver:
             Op.MMIO_WRITE, addr=self._doorbell_addr(), value=0, device=self.vf
         )
         machine = self.machine
-        machine.iommu.translate(self.vf, TX_POOL_BASE, write=False)  # DMA read
+        try:
+            machine.iommu.translate(self.vf, TX_POOL_BASE, write=False)  # DMA read
+        except IommuFault:
+            machine.metrics.record_recovery("dma_abort")
+            return
         self.vf.pf.tx(Packet(self.flow, size, payload=payload), machine.client.receive)
 
     def _doorbell_addr(self) -> int:
@@ -389,6 +417,27 @@ class HostVhost:
         self._signal()
 
     # ------------------------------------------------------------------
+    def has_pending_work(self) -> bool:
+        """Whether any ring or backlog holds unserviced work."""
+        if self._rx_backlog:
+            return True
+        return any(
+            self.device.tx_q(pair).avail_pending
+            for pair in range(self.device.num_queue_pairs)
+        )
+
+    def requeue_lost_notification(self) -> bool:
+        """Notification-timeout watchdog: if work is pending but no
+        signal arrived (a kick was lost in flight), re-signal the worker
+        so the request is requeued instead of stranded.  Returns True if
+        a requeue was needed."""
+        if self.paused or not self.has_pending_work():
+            return False
+        self.machine.metrics.record_recovery("virtio_requeue")
+        self._signal()
+        return True
+
+    # ------------------------------------------------------------------
     def _run(self) -> Generator:
         c = self.machine.costs
         while True:
@@ -403,12 +452,31 @@ class HostVhost:
                             break
                         desc_id, addr, size, payload = item
                         had_work = True
+                        if not descriptor_ok(addr, size):
+                            # Malformed descriptor (guest bug or ring
+                            # corruption): complete with zero bytes so
+                            # the ring stays consistent, never touch the
+                            # bogus address.
+                            self.machine.metrics.record_recovery(
+                                "virtio_malformed_drop"
+                            )
+                            txq.push_used(desc_id, 0)
+                            continue
                         self.machine.metrics.charge(
                             "vhost", c.vhost_per_packet + c.vhost_per_byte * size
                         )
                         yield int(c.vhost_per_packet + c.vhost_per_byte * size)
                         if self.translate is not None:
-                            self.translate(addr, False)
+                            try:
+                                self.translate(addr, False)
+                            except (EptViolation, IommuFault):
+                                # DMA translation fault: abort this
+                                # request, keep the device alive.
+                                self.machine.metrics.record_recovery(
+                                    "dma_abort"
+                                )
+                                txq.push_used(desc_id, 0)
+                                continue
                         txq.push_used(desc_id, size)
                         self.machine.nic.tx(
                             Packet(self.flow, size, payload=payload),
@@ -429,12 +497,23 @@ class HostVhost:
                         continue
                     desc_id, addr, _buflen, _ = slot
                     had_work = True
+                    if not descriptor_ok(addr, _buflen):
+                        self.machine.metrics.record_recovery(
+                            "virtio_malformed_drop"
+                        )
+                        rxq.push_used(desc_id, 0)
+                        continue
                     self.machine.metrics.charge(
                         "vhost", c.vhost_per_packet + c.vhost_per_byte * packet.size
                     )
                     yield int(c.vhost_per_packet + c.vhost_per_byte * packet.size)
                     if self.translate is not None:
-                        self.translate(addr, True)
+                        try:
+                            self.translate(addr, True)
+                        except (EptViolation, IommuFault):
+                            self.machine.metrics.record_recovery("dma_abort")
+                            rxq.push_used(desc_id, 0)
+                            continue
                     self.user_vm.memory.write_range(
                         addr, min(packet.size, PAGE_SIZE * 16)
                     )
@@ -489,6 +568,24 @@ class GuestVhost:
         self.ctx.pi_desc.post(KICK_VECTOR)
         self.ctx.pcpu.wake()
 
+    def has_pending_work(self) -> bool:
+        """Whether any guest TX ring holds unserviced buffers."""
+        return any(
+            self.guest_device.tx_q(pair).avail_pending
+            for pair in range(self.guest_device.num_queue_pairs)
+        )
+
+    def requeue_lost_notification(self) -> bool:
+        """Notification-timeout watchdog (same contract as
+        :meth:`HostVhost.requeue_lost_notification`): re-post the kick
+        vector to the backend vCPU when work is stranded."""
+        if not self.has_pending_work():
+            return False
+        self.machine.metrics.record_recovery("virtio_requeue")
+        self.ctx.pi_desc.post(KICK_VECTOR)
+        self.ctx.pcpu.wake()
+        return True
+
     # ------------------------------------------------------------------
     def _run(self) -> Generator:
         c = self.machine.costs
@@ -502,6 +599,12 @@ class GuestVhost:
                     if item is None:
                         break
                     desc_id, _addr, size, payload = item
+                    if not descriptor_ok(_addr, size):
+                        self.machine.metrics.record_recovery(
+                            "virtio_malformed_drop"
+                        )
+                        txq.push_used(desc_id, 0)
+                        continue
                     self.machine.metrics.charge(
                         "ghv_vhost", c.vhost_per_packet + c.vhost_per_byte * size
                     )
@@ -533,6 +636,12 @@ class GuestVhost:
                         self.machine.metrics.count("rx_drops")
                         break
                     desc_id, addr, _buflen, _ = slot
+                    if not descriptor_ok(addr, _buflen):
+                        self.machine.metrics.record_recovery(
+                            "virtio_malformed_drop"
+                        )
+                        rxq.push_used(desc_id, 0)
+                        continue
                     self.machine.metrics.charge(
                         "ghv_vhost",
                         c.vhost_per_packet + c.vhost_per_byte * packet_size,

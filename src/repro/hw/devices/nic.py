@@ -87,6 +87,10 @@ class PhysicalNic(PciDevice):
         self.vfs: List["VirtualFunction"] = []
         #: flow id -> consumer callback for inbound packets.
         self._flow_consumers: Dict[str, Callable[[Packet], None]] = {}
+        #: Fault-injection hook (see repro.faults): called as
+        #: ``hook(direction, packet)`` with direction "rx" or "tx";
+        #: returns the (possibly corrupted) packet, or None to drop it.
+        self.fault_hook: Optional[Callable[[str, Packet], Optional[Packet]]] = None
 
     # ------------------------------------------------------------------
     # SR-IOV
@@ -113,6 +117,11 @@ class PhysicalNic(PciDevice):
 
     def rx(self, packet: Packet) -> None:
         """A packet arrived from the wire."""
+        if self.fault_hook is not None:
+            faulted = self.fault_hook("rx", packet)
+            if faulted is None:
+                return  # injected RX drop (DMA/ring fault)
+            packet = faulted
         consumer = self._flow_consumers.get(packet.flow)
         if consumer is not None:
             consumer(packet)
@@ -125,6 +134,11 @@ class PhysicalNic(PciDevice):
         wire_size: Optional[int] = None,
     ) -> int:
         """Send a packet out the wire toward the client."""
+        if self.fault_hook is not None:
+            faulted = self.fault_hook("tx", packet)
+            if faulted is None:
+                return self.wire.sim.now  # injected TX drop
+            packet = faulted
         packet.inbound = False
         return self.wire.transmit(packet, deliver, wire_size=wire_size)
 

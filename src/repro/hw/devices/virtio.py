@@ -114,6 +114,24 @@ class Virtqueue:
         self.used_idx += 1
 
     # ------------------------------------------------------------------
+    # Fault injection (see repro.faults)
+    # ------------------------------------------------------------------
+    def corrupt_next_avail(self, addr: Optional[int] = None,
+                           length: Optional[int] = None) -> bool:
+        """Malform the next descriptor the device will pop (a guest bug
+        or memory corruption on the shared ring).  Returns False when no
+        buffer is pending.  Hardened backends must detect the malformed
+        descriptor and recover instead of crashing or moving bad data."""
+        if self.last_avail >= self.avail_idx:
+            return False
+        d = self.desc[self.avail_ring[self.last_avail % self.size]]
+        if addr is not None:
+            d.addr = addr
+        if length is not None:
+            d.length = length
+        return True
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
@@ -163,6 +181,10 @@ class VirtioDevice(PciDevice):
         self.msi_vectors: dict = {}
         #: Called on a doorbell write: fn(queue_index).
         self.on_kick: Optional[Callable[[int], None]] = None
+        #: Fault-injection hook (see repro.faults): called as
+        #: ``hook(queue_index)`` on every doorbell; returning True
+        #: swallows the notification (a lost kick).
+        self.fault_hook: Optional[Callable[[int], bool]] = None
 
     # Conventional queue layout for virtio-net: pairs [rx0, tx0, rx1,
     # tx1, ...] (multiqueue, one pair per worker under RSS).
@@ -190,6 +212,8 @@ class VirtioDevice(PciDevice):
         if bar is None or addr - bar.base != NOTIFY_OFFSET:
             # Config writes: ignore contents, they are setup-time only.
             return
+        if self.fault_hook is not None and self.fault_hook(int(value)):
+            return  # notification lost in flight
         if self.on_kick is not None:
             self.on_kick(int(value))
 

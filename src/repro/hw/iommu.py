@@ -54,6 +54,10 @@ class Iommu:
         self.domains: Dict[int, PageTable] = {}
         #: Interrupt remapping: (device bdf, msi index) -> entry.
         self.irt: Dict[tuple, Irte] = {}
+        #: Fault-injection hook (see repro.faults): called as
+        #: ``hook(device, iova, write)``; returning True forces the
+        #: translation to fault even though a mapping exists.
+        self.fault_hook = None
 
     # ------------------------------------------------------------------
     # Domains
@@ -81,6 +85,11 @@ class Iommu:
 
     def translate(self, device: PciDevice, iova: int, write: bool = False) -> int:
         """Translate a device DMA address; raises IommuFault on miss."""
+        if self.fault_hook is not None and self.fault_hook(device, iova, write):
+            raise IommuFault(
+                f"{self.name}: injected translation fault for "
+                f"{device.name} @ {iova:#x}"
+            )
         table = self.domains.get(device.bdf)
         if table is None:
             raise IommuFault(f"{self.name}: device {device.name} has no domain")

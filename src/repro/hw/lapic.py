@@ -34,6 +34,11 @@ class Lapic:
         self.timer_vector: int = TIMER_VECTOR
         #: Observers called on IRR becoming non-empty (wakeups).
         self._wake_callbacks: List[Callable[[], None]] = []
+        #: Fault-injection hook (see repro.faults): called with the
+        #: vector being latched; returning True swallows the interrupt
+        #: (a dropped interrupt).  Spurious interrupts are injected by
+        #: calling :meth:`set_irr` directly.
+        self.fault_hook: Optional[Callable[[int], bool]] = None
 
     # ------------------------------------------------------------------
     # Interrupt state
@@ -42,6 +47,8 @@ class Lapic:
         """Latch a pending interrupt."""
         if not 0 <= vector <= 0xFF:
             raise ValueError(f"bad vector {vector}")
+        if self.fault_hook is not None and self.fault_hook(vector):
+            return  # interrupt dropped in flight
         self.irr.add(vector)
         for cb in list(self._wake_callbacks):
             cb()

@@ -51,6 +51,9 @@ class Machine:
         #: hypervisor stack [L0, L1-hv, ...] for nested configurations.
         self.host_hv = None
         self.hv_stack: list = []
+        #: Attached fault injector (see repro.faults), or None for a
+        #: fault-free machine.  Consulted by the migration wire.
+        self.faults = None
         self.wire = Wire(self.sim, self.costs.nic_bps, self.costs.wire_latency)
         self.nic: PhysicalNic = self.bus.plug(PhysicalNic("eth0", self.wire))
         self.ssd: SsdDevice = self.bus.plug(SsdDevice("ssd0", self.sim, self.costs))

@@ -37,6 +37,11 @@ class Metrics:
         self.cycles: Counter = Counter()
         #: free-form event counts (packets, transactions, migrations...).
         self.events: Counter = Counter()
+        #: fault class -> injected faults (see repro.faults).
+        self.faults: Counter = Counter()
+        #: recovery kind -> successful recoveries (migration retries,
+        #: virtio requeues, malformed-descriptor drops, DVH fallbacks...).
+        self.recoveries: Counter = Counter()
 
     # ------------------------------------------------------------------
     # Recording
@@ -63,6 +68,14 @@ class Metrics:
     def count(self, name: str, n: int = 1) -> None:
         self.events[name] += n
 
+    def record_fault(self, kind: str, n: int = 1) -> None:
+        """An injected (or detected) fault of class ``kind``."""
+        self.faults[kind] += n
+
+    def record_recovery(self, kind: str, n: int = 1) -> None:
+        """A successful recovery action of class ``kind``."""
+        self.recoveries[kind] += n
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -86,6 +99,12 @@ class Metrics:
             n for (_, _, owner), n in self.forwards.items() if owner == level
         )
 
+    def total_faults(self) -> int:
+        return sum(self.faults.values())
+
+    def total_recoveries(self) -> int:
+        return sum(self.recoveries.values())
+
     def snapshot(self) -> Dict[str, Dict]:
         """A plain-dict snapshot for reports."""
         return {
@@ -96,6 +115,8 @@ class Metrics:
             "interrupts": dict(self.interrupts),
             "cycles": dict(self.cycles),
             "events": dict(self.events),
+            "faults": dict(self.faults),
+            "recoveries": dict(self.recoveries),
         }
 
     def diff(self, earlier: "Metrics") -> "Metrics":
@@ -109,6 +130,8 @@ class Metrics:
             "interrupts",
             "cycles",
             "events",
+            "faults",
+            "recoveries",
         ):
             mine: Counter = getattr(self, attr)
             theirs: Counter = getattr(earlier, attr)
@@ -127,6 +150,8 @@ class Metrics:
             "interrupts",
             "cycles",
             "events",
+            "faults",
+            "recoveries",
         ):
             setattr(out, attr, Counter(getattr(self, attr)))
         return out

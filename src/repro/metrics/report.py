@@ -18,6 +18,7 @@ __all__ = [
     "exit_report",
     "cycle_report",
     "interrupt_report",
+    "fault_report",
     "intervention_summary",
     "simulator_report",
     "full_report",
@@ -83,6 +84,19 @@ def interrupt_report(metrics: Metrics) -> str:
     return "Interrupt deliveries\n" + _table(["kind", "mode", "count"], rows)
 
 
+def fault_report(metrics: Metrics) -> str:
+    """Injected faults vs successful recoveries (see repro.faults)."""
+    rows = [
+        ["fault", kind, str(n)] for kind, n in sorted(metrics.faults.items())
+    ] + [
+        ["recovery", kind, str(n)]
+        for kind, n in sorted(metrics.recoveries.items())
+    ]
+    if not rows:
+        rows = [["-", "(none)", "0"]]
+    return "Faults and recoveries\n" + _table(["type", "class", "count"], rows)
+
+
 def intervention_summary(metrics: Metrics) -> Dict[str, float]:
     """The headline numbers: exits, interventions, and the DVH share."""
     total = metrics.total_exits()
@@ -117,6 +131,8 @@ def full_report(metrics: Metrics, freq_hz: Optional[int] = None, sim=None) -> st
     parts = [exit_report(metrics), "", cycle_report(metrics, freq_hz)]
     if metrics.interrupts:
         parts += ["", interrupt_report(metrics)]
+    if metrics.faults or metrics.recoveries:
+        parts += ["", fault_report(metrics)]
     if sim is not None:
         parts += ["", simulator_report(sim)]
     summary = intervention_summary(metrics)

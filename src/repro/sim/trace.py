@@ -46,7 +46,12 @@ class Tracer:
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._filters: List[Callable[[TraceEvent], bool]] = []
         self.enabled = True
+        #: Events rejected by a filter predicate (never entered the buffer).
         self.dropped = 0
+        #: Events pushed out of the full ring buffer by newer ones.  Kept
+        #: separate from :attr:`dropped`: a filter rejection is policy, an
+        #: eviction means the buffer was too small for the window traced.
+        self.evicted = 0
 
     # ------------------------------------------------------------------
     def emit(self, category: str, **fields: Any) -> None:
@@ -58,6 +63,8 @@ class Tracer:
             if not predicate(event):
                 self.dropped += 1
                 return
+        if len(self._events) == self.capacity:
+            self.evicted += 1
         self._events.append(event)
 
     def add_filter(self, predicate: Callable[[TraceEvent], bool]) -> None:
@@ -89,6 +96,7 @@ class Tracer:
     def clear(self) -> None:
         self._events.clear()
         self.dropped = 0
+        self.evicted = 0
 
     def __len__(self) -> int:
         return len(self._events)
@@ -109,4 +117,6 @@ class Tracer:
             lines.append(f"{stamp}  {event.category:<12s} {body}")
         if self.dropped:
             lines.append(f"({self.dropped} events filtered out)")
+        if self.evicted:
+            lines.append(f"({self.evicted} events evicted from the ring buffer)")
         return "\n".join(lines)

@@ -5,6 +5,7 @@ import pytest
 from repro.core.features import DvhFeatures
 from repro.core.migration import (
     LiveMigration,
+    MigrationError,
     MigrationNotSupported,
     add_migration_capability,
     capture_device_state,
@@ -160,6 +161,66 @@ def test_backend_paused_during_stop_and_copy_then_resumed():
     stack.sim.run_process(mig.run())
     assert backend.paused is False  # resumed after switch-over
     assert backend.dirty_log is None  # logging disabled again
+
+
+def _spawn_firehose(stack, proc):
+    """Re-dirty a 2000-page working set faster than the link drains it."""
+    ctx = stack.ctx(1)
+
+    def firehose():
+        i = 0
+        while not proc.done:
+            yield from ctx.compute(20_000)
+            ctx.mem_write(0x1000_0000 + (i % 2_000) * PAGE_SIZE, PAGE_SIZE)
+            i += 1
+
+    stack.sim.spawn(firehose(), "firehose")
+
+
+def test_downtime_limit_raises_on_non_convergence():
+    """With a hard downtime limit set, a dirty rate that cannot converge
+    raises MigrationError instead of eating an unbounded stop-and-copy."""
+    stack = make_dvh()
+    backend = stack.machine.host_hv.backends[stack.net.device]
+    mig = LiveMigration(
+        stack.machine,
+        stack.leaf_vm,
+        devices=[stack.net.device],
+        max_rounds=3,
+        downtime_limit_s=0.0005,
+    )
+    proc = stack.sim.spawn(mig.run(), "migration")
+    _spawn_firehose(stack, proc)
+    with pytest.raises(MigrationError, match="did not converge"):
+        stack.sim.run()
+    # The abort is clean: the source VM keeps running, the backend is
+    # resumed, and dirty logging is off.
+    assert backend.paused is False
+    assert backend.dirty_log is None
+
+
+def test_downtime_limit_ignored_when_converged():
+    """A quiet VM converges within the round budget; the limit never
+    triggers and the result honors the downtime target."""
+    stack = make_dvh()
+    mig = LiveMigration(
+        stack.machine, stack.leaf_vm, downtime_limit_s=0.05
+    )
+    res = stack.sim.run_process(mig.run())
+    assert res.downtime_s <= 0.05
+    assert res.retries == 0
+
+
+def test_no_limit_keeps_legacy_termination():
+    """Without the opt-in limit, the pathological case still terminates
+    by accepting the long stop-and-copy (the pre-existing contract)."""
+    stack = make_dvh()
+    mig = LiveMigration(stack.machine, stack.leaf_vm, max_rounds=3)
+    proc = stack.sim.spawn(mig.run(), "migration")
+    _spawn_firehose(stack, proc)
+    stack.sim.run()
+    assert proc.done
+    assert proc.result.rounds <= 3
 
 
 def test_custom_bandwidth_scales_time():

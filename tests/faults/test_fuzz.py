@@ -1,0 +1,93 @@
+"""Tests for the trap-chain fuzzer: invariants, episodes, campaigns."""
+
+from repro.faults import (
+    TrapChainFuzzer,
+    check_invariants,
+    run_fault_workload,
+    state_digest,
+)
+from repro.faults.fuzz import FUZZ_CLASSES
+from repro.faults.plan import FaultClass
+from repro.hv.stack import StackConfig, build_stack
+
+
+def test_fuzz_classes_exclude_migration_wire():
+    assert set(FUZZ_CLASSES).isdisjoint(set(FaultClass.MIGRATION))
+
+
+def test_invariants_green_on_clean_run():
+    stack = build_stack(StackConfig(levels=2, io_model="virtio", workers=2))
+    run_fault_workload(stack, ops_per_worker=15, seed=1)
+    assert check_invariants(stack) == []
+
+
+def test_invariants_catch_lost_wakeup():
+    """A halted pCPU parking a vCPU with pending interrupts is exactly
+    the lost-wakeup shape the checker must flag."""
+    stack = build_stack(StackConfig(levels=2, io_model="virtio", workers=2))
+    stack.settle()
+    ctx = stack.ctx(0)
+
+    def park():
+        yield from ctx.wait_for_interrupt()
+
+    stack.sim.spawn(park(), "parked")
+    stack.sim.run()
+    ctx.lapic.irr.add(0x41)  # latch an interrupt nobody will deliver
+    violations = check_invariants(stack)
+    assert any("lost wakeup" in v for v in violations)
+
+
+def test_invariants_catch_negative_cycles():
+    stack = build_stack(StackConfig(levels=1, io_model="virtio", workers=2))
+    run_fault_workload(stack, ops_per_worker=5, seed=1)
+    stack.metrics.cycles["bogus"] = -5
+    violations = check_invariants(stack)
+    assert any("negative cycle charge" in v for v in violations)
+
+
+def test_state_digest_reflects_outcome():
+    a = build_stack(StackConfig(levels=1, io_model="virtio", workers=2))
+    run_fault_workload(a, ops_per_worker=10, seed=4)
+    b = build_stack(StackConfig(levels=1, io_model="virtio", workers=2))
+    run_fault_workload(b, ops_per_worker=10, seed=4)
+    assert state_digest(a) == state_digest(b)
+
+    c = build_stack(StackConfig(levels=1, io_model="virtio", workers=2))
+    run_fault_workload(c, ops_per_worker=10, seed=5)
+    assert state_digest(c) != state_digest(a)
+
+
+def test_episode_deterministic_per_seed():
+    fuzzer = TrapChainFuzzer(seed=21, episodes=1, replay_every=0)
+    a = fuzzer.run_episode(0)
+    b = fuzzer.run_episode(0)
+    assert a.digest == b.digest
+    assert a.injected == b.injected
+    assert a.config_desc == b.config_desc
+
+
+def test_small_campaign_all_green_with_replay():
+    fuzzer = TrapChainFuzzer(seed=42, episodes=8, replay_every=4)
+    campaign = fuzzer.run()
+    assert campaign.ok, [e.violations for e in campaign.failures]
+    assert len(campaign.episodes) == 8
+    assert sum(1 for e in campaign.episodes if e.replay_checked) == 2
+    # The campaign actually injected something somewhere.
+    assert sum(campaign.injected_totals().values()) > 0
+
+
+def test_campaign_totals_aggregate_episodes():
+    fuzzer = TrapChainFuzzer(seed=13, episodes=4, replay_every=0)
+    campaign = fuzzer.run()
+    manual = {}
+    for e in campaign.episodes:
+        for kind, n in e.injected.items():
+            manual[kind] = manual.get(kind, 0) + n
+    assert campaign.injected_totals() == manual
+
+
+def test_campaign_progress_callback():
+    seen = []
+    TrapChainFuzzer(seed=1, episodes=3, replay_every=0).run(progress=seen.append)
+    assert [e.index for e in seen] == [0, 1, 2]

@@ -1,0 +1,186 @@
+"""Tests for the hypervisor hardening paths the fault classes exercise:
+lost-kick requeue, malformed-descriptor drop, DMA abort, migration
+retry-with-backoff."""
+
+import pytest
+
+from repro.core.features import DvhFeatures
+from repro.core.migration import LiveMigration, MigrationError
+from repro.faults import (
+    FaultClass,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    build_faulted_stack,
+    run_fault_workload,
+)
+from repro.hv.stack import StackConfig, build_stack
+
+
+def virtio_stack(levels=1):
+    stack = build_stack(StackConfig(levels=levels, io_model="virtio", workers=2))
+    stack.settle()
+    return stack
+
+
+# ----------------------------------------------------------------------
+# Lost kicks: notification timeout + requeue
+# ----------------------------------------------------------------------
+def test_requeue_recovers_unkicked_work():
+    """A posted TX descriptor whose doorbell never arrived is serviced
+    after the notification-timeout probe re-signals the backend."""
+    stack = virtio_stack()
+    backend = stack.machine.host_hv.backends[stack.net.device]
+    received = []
+    stack.machine.client.on_receive(stack.flow, received.append)
+
+    ctx = stack.ctx(0)
+    stack.sim.run_process(
+        stack.net.send(256, payload="lost", kick=False, queue=0, ctx=ctx)
+    )
+    assert stack.net.device.tx_q(0).avail_pending == 1
+    assert not received
+
+    assert backend.requeue_lost_notification() is True
+    stack.sim.run()
+    assert received and received[0].payload == "lost"
+    assert stack.metrics.recoveries["virtio_requeue"] == 1
+
+
+def test_requeue_is_noop_when_idle_or_paused():
+    stack = virtio_stack()
+    backend = stack.machine.host_hv.backends[stack.net.device]
+    assert backend.requeue_lost_notification() is False
+    backend.pause()
+    assert backend.requeue_lost_notification() is False
+    backend.resume()
+    assert stack.metrics.recoveries.get("virtio_requeue", 0) == 0
+
+
+def test_injected_kick_drops_recovered_by_watchdog():
+    """With every doorbell dropped, the one-shot watchdog probes keep
+    the datapath alive: work still completes, recoveries are counted."""
+    plan = FaultPlan([FaultSpec(kind=FaultClass.VIRTIO_KICK_DROP, rate=1.0)])
+    stack, injector = build_faulted_stack(
+        StackConfig(levels=2, io_model="virtio", workers=2), plan, seed=7
+    )
+    ops = run_fault_workload(stack, ops_per_worker=20, seed=7)
+    assert ops["send"] > 0
+    assert injector.summary()[FaultClass.VIRTIO_KICK_DROP] > 0
+    assert stack.metrics.recoveries["virtio_requeue"] > 0
+
+
+# ----------------------------------------------------------------------
+# Malformed descriptors: complete with zero bytes, never touch them
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bad_length", [0, -1, 1 << 28])
+def test_malformed_tx_descriptor_dropped(bad_length):
+    stack = virtio_stack()
+    backend = stack.machine.host_hv.backends[stack.net.device]
+    received = []
+    stack.machine.client.on_receive(stack.flow, received.append)
+
+    backend.pause()
+    ctx = stack.ctx(0)
+    stack.sim.run_process(
+        stack.net.send(512, payload="bad", kick=True, queue=0, ctx=ctx)
+    )
+    txq = stack.net.device.tx_q(0)
+    assert txq.corrupt_next_avail(length=bad_length)
+    backend.resume()
+    stack.sim.run()
+
+    # The descriptor was completed (ring stays consistent) with zero
+    # bytes, and the bogus buffer never reached the wire.
+    assert txq.avail_pending == 0
+    assert stack.metrics.recoveries["virtio_malformed_drop"] == 1
+    assert not received
+
+
+def test_scheduled_ring_corruption_survived():
+    """The injector's scheduled corruption against a loaded datapath:
+    every fired corruption becomes a counted drop, never a crash."""
+    plan = FaultPlan(
+        [FaultSpec(kind=FaultClass.VIRTIO_MALFORMED, count=6, end=12_000_000)]
+    )
+    stack, injector = build_faulted_stack(
+        StackConfig(levels=1, io_model="virtio", workers=2), plan, seed=3
+    )
+    run_fault_workload(stack, ops_per_worker=25, seed=3)
+    fired = injector.summary().get(FaultClass.VIRTIO_MALFORMED, 0)
+    assert stack.metrics.recoveries.get("virtio_malformed_drop", 0) == fired
+
+
+# ----------------------------------------------------------------------
+# DMA aborts on injected IOMMU faults
+# ----------------------------------------------------------------------
+def test_dma_abort_keeps_passthrough_device_alive():
+    plan = FaultPlan([FaultSpec(kind=FaultClass.IOMMU_FAULT, rate=1.0)])
+    stack, injector = build_faulted_stack(
+        StackConfig(levels=2, io_model="passthrough", workers=2), plan, seed=9
+    )
+    # Completes without stranding any worker despite every DMA faulting.
+    ops = run_fault_workload(stack, ops_per_worker=20, seed=9)
+    assert ops["send"] > 0
+    assert injector.summary()[FaultClass.IOMMU_FAULT] > 0
+    assert stack.metrics.recoveries["dma_abort"] > 0
+
+
+# ----------------------------------------------------------------------
+# Migration: bounded retry-with-backoff and failure modes
+# ----------------------------------------------------------------------
+def dvh_stack():
+    stack = build_stack(
+        StackConfig(levels=2, io_model="vp", dvh=DvhFeatures.full())
+    )
+    stack.settle()
+    return stack
+
+
+def test_migration_retries_through_link_flap():
+    stack = dvh_stack()
+    now = stack.sim.now
+    plan = FaultPlan(
+        [FaultSpec(kind=FaultClass.MIG_LINK_FLAP, start=now, end=now + 700_000)]
+    )
+    FaultInjector(stack.machine, plan, seed=1).attach(stack)
+    mig = LiveMigration(
+        stack.machine, stack.leaf_vm, devices=[stack.net.device]
+    )
+    res = stack.sim.run_process(mig.run())
+    assert res.retries > 0
+    assert stack.metrics.recoveries["migration_retry"] == res.retries
+    assert res.total_s > 0
+
+
+def test_migration_error_after_retry_budget():
+    stack = dvh_stack()
+    plan = FaultPlan([FaultSpec(kind=FaultClass.MIG_LINK_FLAP)])  # down forever
+    FaultInjector(stack.machine, plan, seed=1).attach(stack)
+    mig = LiveMigration(
+        stack.machine, stack.leaf_vm, max_retries=3, retry_backoff_cycles=50_000
+    )
+    with pytest.raises(MigrationError, match="link down after 3 retries"):
+        stack.sim.run_process(mig.run())
+
+
+def test_migration_slower_on_degraded_wire():
+    clean = dvh_stack()
+    clean_res = clean.sim.run_process(
+        LiveMigration(clean.machine, clean.leaf_vm).run()
+    )
+
+    degraded = dvh_stack()
+    plan = FaultPlan(
+        [
+            FaultSpec(kind=FaultClass.MIG_BANDWIDTH, param=0.5),
+            FaultSpec(kind=FaultClass.MIG_LOSS, param=0.10),
+        ]
+    )
+    FaultInjector(degraded.machine, plan, seed=1).attach(degraded)
+    slow_res = degraded.sim.run_process(
+        LiveMigration(degraded.machine, degraded.leaf_vm).run()
+    )
+    # Half bandwidth + 10% retransmits: > 2x the clean transfer time.
+    assert slow_res.total_s > 2.0 * clean_res.total_s
+    assert slow_res.retries == 0

@@ -24,6 +24,37 @@ def test_capacity_bounds_buffer():
         tracer.emit("e", i=i)
     assert len(tracer) == 5
     assert [e.fields["i"] for e in tracer.events()] == [15, 16, 17, 18, 19]
+    assert tracer.evicted == 15
+
+
+def test_dropped_and_evicted_are_distinct():
+    """Filter rejections and ring-buffer evictions are different losses:
+    one is policy, the other means the buffer was too small."""
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=3)
+    tracer.add_filter(lambda e: e.category != "noise")
+    for _ in range(4):
+        tracer.emit("noise")
+    for i in range(5):
+        tracer.emit("signal", i=i)
+    assert tracer.dropped == 4
+    assert tracer.evicted == 2
+    assert len(tracer) == 3
+    # A filtered-out event never evicts anything.
+    tracer.emit("noise")
+    assert tracer.evicted == 2
+
+
+def test_render_reports_both_loss_counters():
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=2)
+    tracer.add_filter(lambda e: e.category != "noise")
+    tracer.emit("noise")
+    for i in range(3):
+        tracer.emit("e", i=i)
+    text = tracer.render()
+    assert "(1 events filtered out)" in text
+    assert "(1 events evicted from the ring buffer)" in text
 
 
 def test_zero_capacity_rejected():
@@ -85,7 +116,12 @@ def test_render_formats():
 
 def test_clear():
     sim = Simulator()
-    tracer = Tracer(sim)
+    tracer = Tracer(sim, capacity=1)
+    tracer.add_filter(lambda e: e.category != "noise")
+    tracer.emit("noise")
+    tracer.emit("e")
     tracer.emit("e")
     tracer.clear()
     assert len(tracer) == 0
+    assert tracer.dropped == 0
+    assert tracer.evicted == 0
