@@ -8,6 +8,11 @@ comparison::
 
     PYTHONPATH=src python benchmarks/perf/perf_experiments.py --tier1 \
         --out BENCH_experiments.json
+
+``--check BENCH_experiments.json`` re-measures the two slices and fails
+when either exceeds ``--max-slowdown`` x its recorded wall time — the CI
+regression guard (``make bench-perf-check``); it never rewrites the
+baseline and skips the tier-1 timing.
 """
 
 from __future__ import annotations
@@ -88,6 +93,30 @@ def run_benchmarks(tier1: bool, carry_from: Optional[str] = None) -> Dict[str, o
     return results
 
 
+def check_against(
+    results: Dict[str, object], baseline_path: str, max_slowdown: float
+) -> list:
+    """Compare measured slice wall times against a recorded baseline.
+
+    Returns the list of slices exceeding ``max_slowdown`` x baseline.
+    """
+    with open(baseline_path) as fh:
+        base = json.load(fh)
+    failures = []
+    for key in ("table3_slice", "app_figure_slice"):
+        got = results[key]["wall_s"]
+        ref = base[key]["wall_s"]
+        ratio = got / ref
+        status = "ok" if ratio <= max_slowdown else "FAIL"
+        print(
+            f"{key:18s} {got:.2f}s vs baseline {ref:.2f}s "
+            f"= {ratio:.2f}x ({status}, limit {max_slowdown:g}x)"
+        )
+        if ratio > max_slowdown:
+            failures.append(key)
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=None, help="write results to this JSON file")
@@ -95,6 +124,21 @@ def main(argv=None) -> int:
         "--tier1",
         action="store_true",
         help="also time the full tier-1 test suite (adds its full runtime)",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="JSON",
+        help="compare slice wall times against this recorded baseline "
+        "instead of writing one; fail past --max-slowdown",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=5.0,
+        help="allowed wall-time ratio vs the --check baseline; generous "
+        "because CI hosts differ from the recording host "
+        "(default: %(default)s)",
     )
     args = parser.parse_args(argv)
 
@@ -112,6 +156,12 @@ def main(argv=None) -> int:
             json.dump(results, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
+    if args.check:
+        failures = check_against(results, args.check, args.max_slowdown)
+        if failures:
+            print(f"FAIL: regression in {', '.join(failures)}", file=sys.stderr)
+            return 1
+        print("OK: within baseline tolerance")
     return 0
 
 

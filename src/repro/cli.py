@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro figure 8 --apps memcached netperf_rr
     python -m repro migration
     python -m repro micro ProgramTimer --levels 2 --dvh full
+    python -m repro trace ProgramTimer --levels 3 --chains
     python -m repro app memcached --levels 2 --io vp --dvh full --report
     python -m repro faults fuzz --episodes 500 --seed 1
     python -m repro faults plan --levels 2 --io vp --dvh full
@@ -98,6 +99,37 @@ def build_parser() -> argparse.ArgumentParser:
     micro.add_argument("--iterations", type=int, default=30)
     add_stack_args(micro)
     add_seed_arg(micro)
+
+    trace = sub.add_parser(
+        "trace",
+        help="span-level exit-chain tracing: where every cycle of the "
+        "trap path goes, per chain",
+    )
+    trace.add_argument(
+        "name",
+        nargs="?",
+        default="ProgramTimer",
+        choices=sorted(MICROBENCHMARKS),
+        help="microbenchmark to trace (default: ProgramTimer)",
+    )
+    trace.add_argument("--iterations", type=int, default=3)
+    trace.add_argument(
+        "--chains",
+        type=int,
+        nargs="?",
+        const=4,
+        default=None,
+        metavar="N",
+        help="render the span trees of the last N exit chains (default 4)",
+    )
+    trace.add_argument(
+        "--sites",
+        type=int,
+        default=12,
+        help="show the top N (level, reason, handler) sites by cycles",
+    )
+    add_stack_args(trace)
+    add_seed_arg(trace)
 
     analyze = sub.add_parser(
         "analyze", help="exit breakdown: why a workload is slow per config"
@@ -224,6 +256,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
+    if args.command == "trace":
+        return _run_trace(args)
+
     if args.command == "analyze":
         from repro.bench.analysis import exit_breakdown, format_breakdown
 
@@ -250,6 +285,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _run_trace(args) -> int:
+    """The ``trace`` subcommand: run a microbenchmark with span tracing
+    on and show where the trap path's cycles went."""
+    stack = build_stack(_stack_config(args))
+    collector = stack.machine.enable_span_tracing()
+    cycles = run_microbenchmark(stack, args.name, args.iterations)
+    chains = len(collector.roots) + collector.chains_evicted
+    print(
+        f"{args.name} (levels={args.levels}, io={stack.config.io_model}, "
+        f"dvh={args.dvh}, guest_hv={args.guest_hv}): {cycles:,.0f} cycles/op"
+    )
+    print(
+        f"{collector.spans_closed} spans closed over {chains} exit chains "
+        f"({collector.spans_opened - collector.spans_closed} still open at drain)"
+    )
+
+    print()
+    print("cycle reconciliation (span-attributed vs Metrics):")
+    print(f"  {'category':<14} {'spans':>14} {'metrics':>14} {'unattributed':>14}")
+    for category, span_cy, metric_cy, rest in collector.reconcile(stack.metrics):
+        print(
+            f"  {category:<14} {span_cy:>14,.0f} {metric_cy:>14,.0f} {rest:>14,.0f}"
+        )
+
+    rows = collector.site_rows()
+    if rows:
+        print()
+        print(f"top dispatch sites (of {len(rows)}):")
+        for level, reason, handler, site_cycles in rows[: args.sites]:
+            print(f"  L{level} {reason:<18} -> {handler:<10} {site_cycles:>14,.0f}")
+
+    if args.chains:
+        print()
+        print(collector.render_chains(last=args.chains))
+    return 0
 
 
 def _run_faults(args) -> int:

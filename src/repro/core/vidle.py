@@ -20,7 +20,27 @@ from __future__ import annotations
 
 from typing import List
 
-__all__ = ["enable_virtual_idle", "update_virtual_idle_policy"]
+from repro.hw.ops import ExitReason
+
+__all__ = [
+    "enable_virtual_idle",
+    "update_virtual_idle_policy",
+    "register_ownership",
+]
+
+
+def register_ownership(registry) -> None:
+    """Claim ``HLT`` routing: L0 handles the HLT only if *no* intervening
+    hypervisor kept HLT-exiting set in its vmcs12; otherwise the
+    innermost one that traps HLT owns it (§3.4)."""
+
+    def claim(vcpu, exit_) -> int:
+        for m in range(vcpu.level - 1, 0, -1):
+            if vcpu.chain_vcpu(m + 1).vmcs.controls.hlt_exiting:
+                return m
+        return 0
+
+    registry.claim_ownership(ExitReason.HLT, claim)
 
 
 def enable_virtual_idle(hv_stack: List, leaf_vm) -> bool:

@@ -8,19 +8,40 @@ hypervisor sets the enable bit for its guest (the §3.5 AND rule), a
 nested VM's timer programming exits go straight to L0, which emulates the
 timer with an hrtimer using the *combined* TSC offset of all levels.
 
-The routing and emulation live in :mod:`repro.hv.kvm`
-(``_route``/``_emulate_timer``); this module is the guest-hypervisor-side
-configuration: discovery, enablement, and save/restore on nested VM
-switch.
+The emulation lives in :mod:`repro.hv.kvm` (the registered
+``APIC_TIMER`` handlers); routing is this module's
+:func:`register_ownership` claim on the dispatch registry.  This module
+is otherwise the guest-hypervisor-side configuration: discovery,
+enablement, and save/restore on nested VM switch.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.hw.ops import ExitReason
 from repro.hw.vmx import VmcsField
 
-__all__ = ["enable_virtual_timers", "save_virtual_timer", "restore_virtual_timer"]
+__all__ = [
+    "enable_virtual_timers",
+    "save_virtual_timer",
+    "restore_virtual_timer",
+    "register_ownership",
+]
+
+
+def register_ownership(registry) -> None:
+    """Claim ``APIC_TIMER`` routing: the §3.5 recursive-enable walk over
+    the virtual-timer enable bit (a direct control-field read, not a
+    string-matched attribute name)."""
+    from repro.hv.dispatch import recursive_dvh_owner
+
+    registry.claim_ownership(
+        ExitReason.APIC_TIMER,
+        lambda vcpu, exit_: recursive_dvh_owner(
+            vcpu, lambda controls: controls.virtual_timer_enable
+        ),
+    )
 
 
 def enable_virtual_timers(hv_stack: List, leaf_vm) -> bool:

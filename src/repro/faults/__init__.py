@@ -13,6 +13,7 @@ The subsystem has three parts (see docs/faults.md):
   per-episode invariants and byte-identical replay.
 """
 
+from repro.faults.chains import ChainTracker
 from repro.faults.fuzz import (
     CampaignResult,
     EpisodeResult,
@@ -27,6 +28,7 @@ from repro.faults.report import render_campaign, render_plan_run
 from repro.faults.workload import run_fault_workload
 
 __all__ = [
+    "ChainTracker",
     "FaultClass",
     "FaultPlan",
     "FaultSpec",

@@ -8,7 +8,9 @@ invariants are checked:
 
 * **Exit conservation** — every hardware exit is either handled by L0 or
   forwarded to exactly one guest hypervisor (preemption-timer ticks are
-  L0-internal bookkeeping);
+  L0-internal bookkeeping) — checked machine-wide *and* per exit chain
+  (the dispatch core's chain ids, tallied by
+  :class:`repro.faults.chains.ChainTracker`);
 * **No stranded vCPU** — every worker finished; with safety timers armed
   around every blocking wait, a stranded worker means a lost wakeup;
 * **No lost wakeup** — no halted physical CPU has a vCPU with pending
@@ -31,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.features import DvhFeatures
+from repro.faults.chains import ChainTracker
 from repro.faults.injector import FaultInjector, degrade_config
 from repro.faults.plan import FaultClass, FaultPlan
 from repro.faults.workload import run_fault_workload
@@ -65,6 +68,9 @@ def build_faulted_stack(config, plan: FaultPlan, seed: int = 0):
 
     config, dropped = degrade_config(config, plan)
     stack = build_stack(config)
+    # Per-chain exit accounting for check_invariants; lives outside
+    # Metrics so episode digests are unchanged by its presence.
+    stack.machine.chain_tracker = ChainTracker()
     faulted_drops = [m for m in dropped if m in plan.faulted_mechanisms()]
     if faulted_drops:
         for _ in faulted_drops:
@@ -112,6 +118,21 @@ def check_invariants(stack, injector: Optional[FaultInjector] = None) -> List[st
             violations.append(
                 f"exit conservation: non-hlt imbalance "
                 f"(total slack {slack}, hlt slack {hlt_slack})"
+            )
+
+    # Per-chain exit conservation: the same balance must hold within
+    # every individual exit chain, not just machine-wide — an exit
+    # mis-attributed between chains cancels in the aggregate but not here.
+    tracker = machine.chain_tracker
+    if tracker is not None:
+        violations.extend(tracker.violations())
+        total_chain_slack = sum(
+            tracker.chain_slack(cid) for cid in tracker.exits
+        )
+        if total_chain_slack != slack:
+            violations.append(
+                f"chain conservation: per-chain slack {total_chain_slack} "
+                f"!= machine-wide slack {slack}"
             )
 
     # No lost wakeup: a halted pCPU must not be parking a vCPU with

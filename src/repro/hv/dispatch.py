@@ -1,0 +1,275 @@
+"""Registry-based exit dispatch: the trap frame and the handler registry.
+
+This module is the architectural spine of the trap path.  Two pieces:
+
+* :class:`ExitContext` — a first-class trap frame created at the trap
+  site (``VCpu.execute``) and threaded **unmodified** through L0
+  dispatch, guest-hypervisor forwarding, re-entry, and the DVH
+  emulation handlers.  It carries the exit-chain identity (a chain id
+  shared by every exit a single guest operation ultimately causes), the
+  origin level, the forwarding hop count, and — when span tracing is on
+  — the open :class:`repro.metrics.spans.Span` cycles are attributed to.
+
+* :class:`ExitHandlerRegistry` — maps ``(ExitReason, profile)`` to
+  handler generators, and ``ExitReason`` to *ownership claims*.  L0
+  emulation handlers and guest-hypervisor handlers are registered by
+  :mod:`repro.hv.kvm`; hypervisor flavours are declarative
+  :class:`repro.hv.profiles.HypervisorProfile` values; and each DVH
+  feature module (:mod:`repro.core.vtimer`, :mod:`repro.core.vipi`,
+  :mod:`repro.core.vidle`, :mod:`repro.core.vpassthrough`) registers the
+  ownership claim for the exit reason it short-circuits, instead of the
+  host hypervisor string-matching control-bit names.
+
+The registry carries no simulation state; one process-wide
+:data:`DEFAULT_REGISTRY` serves every machine.  All mutable per-chain
+state lives in the :class:`ExitContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.hw.ops import Exit, ExitReason
+
+__all__ = [
+    "ExitContext",
+    "ExitHandlerRegistry",
+    "DEFAULT_REGISTRY",
+    "recursive_dvh_owner",
+]
+
+#: An L0 emulation handler: ``fn(l0_hv, ectx) -> Generator[cost]``.
+L0Handler = Callable[[Any, "ExitContext"], Generator]
+#: A guest-hypervisor handler: ``fn(guest_hv, ctx, ectx, guest_vmcs)``.
+GuestHandler = Callable[[Any, Any, "ExitContext", Any], Generator]
+#: An ownership claim: ``fn(vcpu, exit_) -> owner level``.
+OwnershipClaim = Callable[[Any, Exit], int]
+
+
+class ExitContext:
+    """The trap frame of one hardware VM exit.
+
+    Lifecycle: created at the trap site, passed by reference through the
+    whole dispatch (never copied, never rebuilt at a forwarding hop), and
+    closed when L0 re-enters the guest.  A privileged operation executed
+    *by a handler* while this frame is live traps into a **child**
+    context: same ``chain_id``, ``depth + 1`` — which is exactly the
+    paper's exit multiplication, made observable.
+    """
+
+    __slots__ = (
+        "exit_",
+        "vcpu",
+        "chain_id",
+        "origin_level",
+        "hops",
+        "depth",
+        "parent",
+        "metrics",
+        "span",
+        "handler",
+    )
+
+    def __init__(
+        self,
+        exit_: Exit,
+        vcpu: Any,
+        parent: Optional["ExitContext"],
+        machine: Any,
+    ) -> None:
+        self.exit_ = exit_
+        self.vcpu = vcpu
+        self.parent = parent
+        self.origin_level = vcpu.level
+        #: Forwarding legs this exit traversed (0 = handled by L0 directly).
+        self.hops = 0
+        self.metrics = machine.metrics
+        #: Who ended up handling the exit ("l0", "l0:dvh", or the owning
+        #: guest hypervisor's name); set by the dispatcher.
+        self.handler = ""
+        if parent is None:
+            self.chain_id = machine.new_chain_id()
+            self.depth = 0
+        else:
+            self.chain_id = parent.chain_id
+            self.depth = parent.depth + 1
+        tracker = machine.chain_tracker
+        if tracker is not None:
+            tracker.on_exit(self)
+        collector = machine.spans
+        self.span = (
+            collector.open(self) if collector is not None and collector.enabled
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def charge(self, category: str, cycles: float) -> None:
+        """Charge cycles to the machine metrics, attributing them to the
+        open span when tracing is enabled."""
+        self.metrics.charge(category, cycles)
+        if self.span is not None:
+            self.span.add(category, cycles)
+
+    def note_hop(self) -> None:
+        self.hops += 1
+
+    def chain(self) -> List["ExitContext"]:
+        """Ancestry from the chain root down to this frame."""
+        out: List[ExitContext] = []
+        node: Optional[ExitContext] = self
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        out.reverse()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ExitContext #{self.chain_id}.{self.depth} "
+            f"{self.exit_.reason.value} L{self.origin_level} hops={self.hops}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Ownership helpers
+# ----------------------------------------------------------------------
+def recursive_dvh_owner(vcpu: Any, enabled: Callable[[Any], bool]) -> int:
+    """The §3.5 recursive-enable walk, generic over the enable bit.
+
+    DVH handles the exit at L0 only if every intervening hypervisor set
+    the enable bit for its guest (the bits AND together).  Otherwise
+    forwarding descends from the innermost level: the first hypervisor
+    (from the VM's own manager downward) whose enable bit for its guest
+    is clear must emulate.  ``enabled`` reads the feature's enable bit
+    off an :class:`repro.hw.vmx.ExecControl` — a direct attribute access
+    supplied by the feature module, not a string-matched name.
+    """
+    for m in range(vcpu.level, 1, -1):
+        if not enabled(vcpu.chain_vcpu(m).vmcs.controls):
+            return m - 1
+    return 0
+
+
+class ExitHandlerRegistry:
+    """Maps ``(ExitReason, profile)`` to handlers and reasons to claims."""
+
+    def __init__(self) -> None:
+        self._l0: Dict[ExitReason, Tuple[L0Handler, bool]] = {}
+        self._l0_default: Optional[Tuple[L0Handler, bool]] = None
+        self._guest: Dict[Tuple[ExitReason, Optional[str]], GuestHandler] = {}
+        self._guest_default: Optional[GuestHandler] = None
+        self._claims: Dict[ExitReason, OwnershipClaim] = {}
+        self._claims_installed = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_l0(
+        self, *reasons: ExitReason, dvh_capable: bool = False, default: bool = False
+    ) -> Callable[[L0Handler], L0Handler]:
+        """Register an L0 emulation handler for ``reasons``.
+
+        ``dvh_capable`` marks reasons whose direct L0 handling of a
+        nested VM's exit *is* a DVH mechanism (timer, ICR, HLT, MMIO);
+        the dispatcher uses it for the ``dvh_handled`` attribution.
+        ``default`` additionally installs the handler as the fallback.
+        """
+
+        def deco(fn: L0Handler) -> L0Handler:
+            for reason in reasons:
+                if reason in self._l0:
+                    raise ValueError(f"duplicate L0 handler for {reason}")
+                self._l0[reason] = (fn, dvh_capable)
+            if default:
+                self._l0_default = (fn, dvh_capable)
+            return fn
+
+        return deco
+
+    def register_guest(
+        self,
+        *reasons: ExitReason,
+        profile: Optional[str] = None,
+        default: bool = False,
+    ) -> Callable[[GuestHandler], GuestHandler]:
+        """Register a guest-hypervisor handler for ``reasons``.
+
+        ``profile=None`` registers the base handler shared by every
+        flavour; a named profile overrides the base for that flavour
+        only.  ``default`` installs the handler as the base fallback.
+        """
+
+        def deco(fn: GuestHandler) -> GuestHandler:
+            for reason in reasons:
+                key = (reason, profile)
+                if key in self._guest:
+                    raise ValueError(f"duplicate guest handler for {key}")
+                self._guest[key] = fn
+            if default:
+                self._guest_default = fn
+            return fn
+
+        return deco
+
+    def claim_ownership(self, reason: ExitReason, claim: OwnershipClaim) -> None:
+        """A DVH feature claims routing authority over ``reason``."""
+        if reason in self._claims:
+            raise ValueError(f"duplicate ownership claim for {reason}")
+        self._claims[reason] = claim
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def l0_handler(self, reason: ExitReason) -> Tuple[L0Handler, bool]:
+        entry = self._l0.get(reason)
+        if entry is None:
+            entry = self._l0_default
+            if entry is None:
+                raise LookupError(f"no L0 handler for {reason}")
+        return entry
+
+    def guest_handler(self, reason: ExitReason, profile: Any) -> GuestHandler:
+        fn = self._guest.get((reason, profile.name))
+        if fn is None:
+            fn = self._guest.get((reason, None))
+        if fn is None:
+            fn = self._guest_default
+            if fn is None:
+                raise LookupError(f"no guest handler for {reason}")
+        return fn
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, vcpu: Any, exit_: Exit) -> int:
+        """Return the level of the hypervisor that must handle the exit
+        (0 = the host hypervisor handles it directly)."""
+        if vcpu.level == 1:
+            return 0
+        if not self._claims_installed:
+            self._install_default_claims()
+        claim = self._claims.get(exit_.reason)
+        if claim is not None:
+            return claim(vcpu, exit_)
+        if exit_.reason is ExitReason.EPT_VIOLATION:
+            # Shadow-EPT maintenance is the host hypervisor's job.
+            return 0
+        # Hypercalls, VMX instructions, CPUID, MSRs: the VM's own manager.
+        return vcpu.level - 1
+
+    def _install_default_claims(self) -> None:
+        """Let each DVH feature module register its ownership claim.
+
+        Deferred to first routing (rather than import time) so the
+        registry module stays import-cycle-free: the feature modules may
+        import :mod:`repro.hv.dispatch` for helpers.
+        """
+        self._claims_installed = True
+        from repro.core import vidle, vipi, vpassthrough, vtimer
+
+        for feature in (vpassthrough, vtimer, vipi, vidle):
+            feature.register_ownership(self)
+
+
+#: The process-wide registry every machine dispatches through.
+DEFAULT_REGISTRY = ExitHandlerRegistry()

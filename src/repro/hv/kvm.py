@@ -11,17 +11,31 @@ One class plays both roles of the paper's terminology:
   back to L0 (or, for deeper nesting, to an even longer chain).  This is
   the mechanism — not a formula — that produces exit multiplication.
 
-The four DVH mechanisms short-circuit routing in :meth:`KvmHypervisor._route`:
-when the VM-execution controls of every intervening level carry the DVH
-enable bit (§3.5's AND rule), exits that would have been forwarded are
-handled by L0 directly.
+The dispatch machinery itself lives in :mod:`repro.hv.dispatch`: every
+hardware exit arrives here wrapped in an
+:class:`~repro.hv.dispatch.ExitContext` (the trap frame created at the
+trap site in :meth:`repro.hv.vm.VCpu.execute`), routing consults the
+:class:`~repro.hv.dispatch.ExitHandlerRegistry` (where each DVH feature
+registered its ownership claim), and the reason-specific emulation is
+performed by the module-level handler functions below, registered per
+``(ExitReason, profile)``.  Hypervisor flavours are declarative
+:class:`repro.hv.profiles.HypervisorProfile` data — Xen is a profile, not
+method overrides.
+
+The four DVH mechanisms short-circuit routing through their ownership
+claims: when the VM-execution controls of every intervening level carry
+the DVH enable bit (§3.5's AND rule), exits that would have been
+forwarded are handled by L0 directly.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, ClassVar, Dict, Generator, List, Optional, Tuple
 
 from repro.core.features import DvhFeatures
+from repro.hv.dispatch import DEFAULT_REGISTRY, ExitContext, ExitHandlerRegistry
+from repro.hv.profiles import KVM_PROFILE, HypervisorProfile
+from repro.hv.vm import VCpu, VirtualMachine
 from repro.hw.lapic import TIMER_VECTOR
 from repro.hw.ops import (
     MSR_TSC_DEADLINE,
@@ -37,7 +51,6 @@ from repro.hw.vmx import (
     VmcsField,
     VmxCapability,
 )
-from repro.hv.vm import VCpu, VirtualMachine
 
 __all__ = ["KvmHypervisor"]
 
@@ -45,28 +58,17 @@ __all__ = ["KvmHypervisor"]
 class KvmHypervisor:
     """KVM at any virtualization level (level 0 = the host hypervisor)."""
 
-    #: Trapping (read, write) VMCS-access counts per handled exit reason.
-    #: These are the residual non-shadowed accesses KVM's handlers make
-    #: with VMCS shadowing enabled; Xen overrides with its own profile.
-    OP_COUNTS: Dict[ExitReason, Tuple[int, int]] = {
-        ExitReason.VMCALL: (8, 8),
-        ExitReason.CPUID: (7, 6),
-        ExitReason.MSR_READ: (7, 6),
-        ExitReason.MSR_WRITE: (7, 6),
-        ExitReason.VMX_INSTRUCTION: (9, 8),
-        ExitReason.MMIO: (11, 9),
-        ExitReason.EPT_VIOLATION: (8, 7),
-        ExitReason.IO_INSTRUCTION: (10, 9),
-        ExitReason.APIC_TIMER: (10, 8),
-        ExitReason.APIC_ICR: (9, 7),
-        ExitReason.HLT: (4, 3),
-        ExitReason.EXTERNAL_INTERRUPT: (3, 2),
-        ExitReason.PREEMPTION_TIMER: (3, 2),
-    }
-    #: Shadowed (non-trapping) VMCS accesses per handled exit.
-    SHADOWED_ACCESSES = 26
-    #: Trapped accesses on the wake path after an emulated HLT returns.
-    WAKE_OPS = (2, 1)
+    #: The declarative flavour of this hypervisor (subclasses swap the
+    #: profile, nothing else).
+    profile: ClassVar[HypervisorProfile] = KVM_PROFILE
+    #: The registry exits are routed and dispatched through.
+    registry: ClassVar[ExitHandlerRegistry] = DEFAULT_REGISTRY
+
+    #: Legacy aliases into the profile (kept for tests and callers that
+    #: predate hv.profiles).
+    OP_COUNTS: ClassVar[Dict[ExitReason, Tuple[int, int]]] = KVM_PROFILE.op_counts
+    SHADOWED_ACCESSES: ClassVar[int] = KVM_PROFILE.shadowed_accesses
+    WAKE_OPS: ClassVar[Tuple[int, int]] = KVM_PROFILE.wake_ops
 
     def __init__(
         self,
@@ -84,7 +86,7 @@ class KvmHypervisor:
         self.metrics = machine.metrics
         self.level = level
         self.vm = vm
-        self.name = name or (f"kvm-L{level}" if level else "kvm-host")
+        self.name = name or (f"{self.profile.name}-L{level}" if level else "kvm-host")
         #: DVH mechanisms this hypervisor *provides* to its guests.  Only
         #: meaningful at L0 in the paper's design; guest hypervisors
         #: re-expose what they discover (recursive DVH, §3.5).
@@ -141,210 +143,94 @@ class KvmHypervisor:
     # ==================================================================
     # L0: exit dispatch
     # ==================================================================
-    def dispatch_exit(self, vcpu: VCpu, exit_: Exit) -> Generator:
-        """Entry point for every hardware VM exit (L0 only, §2)."""
+    def dispatch_exit(
+        self, vcpu: VCpu, exit_: Exit, ectx: Optional[ExitContext] = None
+    ) -> Generator:
+        """Entry point for every hardware VM exit (L0 only, §2).
+
+        ``ectx`` is the trap frame created at the trap site; direct
+        callers (tests, softirq paths) may omit it and get a fresh root
+        frame.  The frame travels the whole dispatch unmodified — the
+        span it carries closes exactly when L0 re-enters the guest.
+        """
         assert self.level == 0, "only the host hypervisor takes hardware exits"
+        if ectx is None:
+            ectx = ExitContext(exit_, vcpu, None, self.machine)
         c = self.costs
         metrics = self.metrics
         reason_name = exit_.reason._value_
-        metrics.record_exit(vcpu.level, reason_name)
-        metrics.charge("hw_switch", c.hw_exit)
-        metrics.charge("l0_emul", c.l0_dispatch)
-        yield c.hw_exit + c.l0_dispatch
-        if vcpu.level >= 2 and self.dvh.any_enabled:
-            # L0 consults the DVH bits in the (merged) VM-execution
-            # controls before routing (§3.2-3.4).
-            metrics.charge("l0_emul", c.dvh_route_check)
-            yield c.dvh_route_check
-        owner = self._route(vcpu, exit_)
-        if owner == 0:
-            dvh_used = vcpu.level >= 2 and exit_.reason in (
-                ExitReason.APIC_TIMER,
-                ExitReason.APIC_ICR,
-                ExitReason.HLT,
-                ExitReason.MMIO,
-            )
-            result = yield from self._emulate(vcpu, exit_)
-            metrics.record_l0_handled(reason_name, dvh=dvh_used)
-            metrics.charge("hw_switch", c.hw_entry)
-            yield c.hw_entry
-            return result
-        metrics.record_forward(vcpu.level, reason_name, owner)
-        metrics.charge("l0_emul", c.forward_state_save)
-        yield c.forward_state_save
-        return (yield from self._deliver(vcpu, exit_, owner, via=1))
+        try:
+            metrics.record_exit(vcpu.level, reason_name)
+            ectx.charge("hw_switch", c.hw_exit)
+            ectx.charge("l0_emul", c.l0_dispatch)
+            yield c.hw_exit + c.l0_dispatch
+            if vcpu.level >= 2 and self.dvh.any_enabled:
+                # L0 consults the DVH bits in the (merged) VM-execution
+                # controls before routing (§3.2-3.4).
+                ectx.charge("l0_emul", c.dvh_route_check)
+                yield c.dvh_route_check
+            owner = self.registry.route(vcpu, exit_)
+            tracker = self.machine.chain_tracker
+            if owner == 0:
+                handler, dvh_capable = self.registry.l0_handler(exit_.reason)
+                dvh_used = vcpu.level >= 2 and dvh_capable
+                ectx.handler = "l0:dvh" if dvh_used else "l0"
+                result = yield from handler(self, ectx)
+                metrics.record_l0_handled(reason_name, dvh=dvh_used)
+                if tracker is not None:
+                    tracker.on_l0_handled(ectx)
+                ectx.charge("hw_switch", c.hw_entry)
+                yield c.hw_entry
+                return result
+            metrics.record_forward(vcpu.level, reason_name, owner)
+            if tracker is not None:
+                tracker.on_forward(ectx, owner)
+            ectx.charge("l0_emul", c.forward_state_save)
+            yield c.forward_state_save
+            return (yield from self._deliver(vcpu, exit_, owner, 1, ectx))
+        finally:
+            if ectx.span is not None and self.machine.spans is not None:
+                self.machine.spans.close(ectx)
 
-    def _deliver(self, vcpu: VCpu, exit_: Exit, owner: int, via: int) -> Generator:
+    def _deliver(
+        self, vcpu: VCpu, exit_: Exit, owner: int, via: int, ectx: ExitContext
+    ) -> Generator:
         """Reflect an exit into the guest hypervisor at ``via``; recurse
         one level at a time until the owner handles it (§2: "the L0
         hypervisor ... will forward it to the L1 hypervisor, which will
         forward it to the L2 hypervisor via the L0 hypervisor")."""
         c = self.costs
-        self.metrics.charge("hw_switch", c.hw_entry)
+        ectx.charge("hw_switch", c.hw_entry)
         yield c.hw_entry  # enter the via-level hypervisor's context
         hv = self._hv_at(via)
         ctx = vcpu.chain_vcpu(via)
-        if via == owner:
-            return (yield from hv.handle_guest_exit(ctx, exit_))
-        yield from hv.reinject_exit(ctx, exit_)
-        return (yield from self._deliver(vcpu, exit_, owner, via + 1))
+        ectx.note_hop()
+        # The via-level handler runs as guest code on ``ctx`` while this
+        # frame is live: its trapping ops become child frames of this
+        # exit chain.
+        saved = ctx.exit_context
+        ctx.exit_context = ectx
+        try:
+            if via == owner:
+                ectx.handler = hv.name
+                return (yield from hv.handle_guest_exit(ctx, exit_, ectx))
+            yield from hv.reinject_exit(ctx, exit_, ectx)
+        finally:
+            ctx.exit_context = saved
+        return (yield from self._deliver(vcpu, exit_, owner, via + 1, ectx))
 
     # ------------------------------------------------------------------
     # Routing: who owns this exit?
     # ------------------------------------------------------------------
     def _route(self, vcpu: VCpu, exit_: Exit) -> int:
         """Return the level of the hypervisor that must handle the exit
-        (0 = L0 handles directly)."""
-        k = vcpu.level
-        if k == 1:
-            return 0
-        reason = exit_.reason
-        if reason is ExitReason.HLT:
-            # Virtual idle (§3.4): L0 handles the HLT only if *no*
-            # intervening hypervisor kept hlt-exiting set in its vmcs12;
-            # otherwise the innermost one that traps HLT owns it.
-            for m in range(k - 1, 0, -1):
-                if vcpu.chain_vcpu(m + 1).vmcs.controls.hlt_exiting:
-                    return m
-            return 0
-        if reason is ExitReason.APIC_TIMER:
-            return self._dvh_owner(vcpu, "virtual_timer_enable")
-        if reason is ExitReason.APIC_ICR:
-            if exit_.info.get("notify_only"):
-                # A guest hypervisor asking the CPU to send a
-                # posted-interrupt notification on its behalf (Figure 4
-                # step 4): its own manager emulates that.
-                return k - 1
-            return self._dvh_owner(vcpu, "virtual_ipi_enable")
-        if reason is ExitReason.MMIO:
-            device = exit_.info.get("device")
-            provider = getattr(device, "provider_level", None)
-            if provider is not None:
-                # Virtual-passthrough (§3.1): a device provided by L0 is
-                # emulated by L0 even when accessed from a nested VM.
-                return provider
-            return k - 1
-        if reason is ExitReason.EPT_VIOLATION:
-            return 0
-        # Hypercalls, VMX instructions, CPUID, MSRs: the VM's own manager.
-        return k - 1
-
-    def _dvh_owner(self, vcpu: VCpu, control_bit: str) -> int:
-        """§3.5 recursive-enable walk: DVH handles the exit at L0 only if
-        every intervening hypervisor set the enable bit for its guest
-        (the bits AND together).  Otherwise forwarding descends from the
-        innermost level: the first hypervisor (from the VM's own manager
-        downward) whose enable bit for its guest is clear must emulate —
-        with everything disabled that is the VM's manager, the normal
-        non-DVH owner."""
-        for m in range(vcpu.level, 1, -1):
-            if not getattr(vcpu.chain_vcpu(m).vmcs.controls, control_bit):
-                return m - 1
-        return 0
+        (0 = L0 handles directly).  Thin shim over the registry, whose
+        ownership claims were registered by the DVH feature modules."""
+        return self.registry.route(vcpu, exit_)
 
     # ==================================================================
-    # L0: direct emulation
+    # L0: timer plumbing (shared by the L0 and guest timer handlers)
     # ==================================================================
-    def _emulate(self, vcpu: VCpu, exit_: Exit) -> Generator:
-        reason = exit_.reason
-        c = self.costs
-        if reason is ExitReason.VMCALL:
-            self.metrics.charge("l0_emul", c.emul_hypercall)
-            yield c.emul_hypercall
-            return None
-        if reason in (ExitReason.CPUID, ExitReason.MSR_READ, ExitReason.MSR_WRITE):
-            self.metrics.charge("l0_emul", c.emul_trivial)
-            yield c.emul_trivial
-            return None
-        if reason is ExitReason.VMX_INSTRUCTION:
-            return (yield from self._emulate_vmx(vcpu, exit_))
-        if reason is ExitReason.APIC_TIMER:
-            return (yield from self._emulate_timer(vcpu, exit_))
-        if reason is ExitReason.APIC_ICR:
-            return (yield from self._emulate_ipi(vcpu, exit_))
-        if reason is ExitReason.HLT:
-            return (yield from self._emulate_hlt(vcpu, exit_))
-        if reason is ExitReason.MMIO:
-            return (yield from self._emulate_mmio(vcpu, exit_))
-        if reason is ExitReason.EPT_VIOLATION:
-            self.metrics.charge("l0_emul", c.ept_violation_fix)
-            yield c.ept_violation_fix
-            return None
-        self.metrics.charge("l0_emul", c.emul_trivial)
-        yield c.emul_trivial
-        return None
-
-    # ------------------------------------------------------------------
-    def _emulate_vmx(self, vcpu: VCpu, exit_: Exit) -> Generator:
-        """Emulate a VMX instruction executed by a guest hypervisor."""
-        c = self.costs
-        op = exit_.op
-        info = exit_.info
-        if op in (Op.VMREAD, Op.VMWRITE):
-            self.metrics.charge("l0_emul", c.emul_vmcs_access)
-            yield c.emul_vmcs_access
-            vmcs: Optional[Vmcs] = info.get("vmcs")
-            fieldname: Optional[VmcsField] = info.get("field")
-            if vmcs is not None and fieldname is not None:
-                if op is Op.VMWRITE:
-                    vmcs.write(fieldname, info.get("value"))
-                    return None
-                return vmcs.read(fieldname)
-            return None
-        if op is Op.VMPTRLD:
-            self.metrics.charge("l0_emul", c.emul_vmptrld)
-            yield c.emul_vmptrld
-            return None
-        if op in (Op.VMRESUME, Op.VMLAUNCH):
-            # The expensive part of nested virtualization: merge the guest
-            # hypervisor's vmcs12 into the VMCS L0 actually runs with.
-            self.metrics.charge("l0_emul", c.emul_vmresume_merge)
-            yield c.emul_vmresume_merge
-            target: Optional[VCpu] = info.get("target_vcpu")
-            if target is not None and target.level >= 2:
-                target.merged_vmcs.merge_from(target.vmcs, self._host_controls())
-                target.merged_vmcs.write(
-                    VmcsField.TSC_OFFSET, target.total_tsc_offset()
-                )
-                # Hardware syncs pending posted interrupts on VM entry.
-                target.pi_desc.sync_to(target.lapic)
-            return None
-        self.metrics.charge("l0_emul", c.emul_trivial)
-        yield c.emul_trivial
-        return None
-
-    def _host_controls(self) -> ExecControl:
-        ctl = ExecControl()
-        ctl.hlt_exiting = True
-        ctl.apicv = self.capability.apicv
-        ctl.posted_interrupts = self.capability.posted_interrupts
-        return ctl
-
-    # ------------------------------------------------------------------
-    def _emulate_timer(self, vcpu: VCpu, exit_: Exit) -> Generator:
-        """LAPIC TSC-deadline emulation; for nested vCPUs this is the DVH
-        virtual timer (§3.2), reached only when routing said so."""
-        c = self.costs
-        info = exit_.info
-        if vcpu.level >= 2:
-            # Virtual timer: combine the TSC offsets of every level
-            # (already folded into the merged VMCS by §3.2's rule).
-            walk = (vcpu.level - 1) * c.dvh_nested_emul
-            self.metrics.charge("dvh_emul", walk)
-            yield walk
-        self.metrics.charge("l0_emul", c.emul_timer_program)
-        yield c.emul_timer_program
-        if info.get("shadow_only"):
-            # A guest hypervisor programming its own hardware timer as
-            # part of emulating its guest's timer: the authoritative
-            # nested-timer record was registered by that hypervisor.
-            return None
-        deadline_guest = info["deadline"]
-        vector = info.get("vector", TIMER_VECTOR)
-        host_deadline = deadline_guest - vcpu.total_tsc_offset()
-        self._arm_hrtimer(vcpu, host_deadline, vector, provider_level=0)
-        return None
-
     def _arm_hrtimer(
         self, vcpu: VCpu, host_deadline: int, vector: int, provider_level: int
     ) -> None:
@@ -401,46 +287,6 @@ class KvmHypervisor:
             self.deliver_posted(vcpu, vector)
             self.wake_target(vcpu)
 
-    # ------------------------------------------------------------------
-    def _emulate_ipi(self, vcpu: VCpu, exit_: Exit) -> Generator:
-        """ICR-write emulation: normal for L1 vCPUs, DVH virtual IPI
-        (§3.3) for nested vCPUs."""
-        c = self.costs
-        info = exit_.info
-        if info.get("notify_only"):
-            # Figure 4 step 4/5: a (guest) hypervisor already updated the
-            # PI descriptor; send the physical notification.
-            target: VCpu = info["target"]
-            self.metrics.charge("l0_emul", c.emul_ipi_send + c.physical_ipi)
-            yield c.emul_ipi_send + c.physical_ipi
-            self.deliver_posted(target, info.get("vector", 0))
-            self.wake_target(target)
-            return None
-        dest_index = info["dest"]
-        vector = info["vector"]
-        if vcpu.level >= 2:
-            # Virtual IPI: find the destination through the virtual CPU
-            # interrupt mapping table the guest hypervisor registered
-            # (§3.3, Figure 5).  The emulation is a bit costlier than the
-            # L1 path: reading the table from guest memory and validating
-            # the virtual ICR state per level.
-            extra = c.vcimt_lookup + (vcpu.level - 1) * c.dvh_nested_emul
-            self.metrics.charge("dvh_emul", extra)
-            yield extra
-            dest = self._vcimt_lookup(vcpu, dest_index)
-        else:
-            dest = vcpu.vm.vcpus[dest_index]
-        self.metrics.charge("l0_emul", c.emul_ipi_send)
-        yield c.emul_ipi_send
-        self.metrics.charge("l0_emul", c.pi_descriptor_update + c.physical_ipi)
-        yield c.pi_descriptor_update
-        dest.pi_desc.post(vector)
-        yield c.physical_ipi
-        self.metrics.record_interrupt("ipi", "posted")
-        self.deliver_posted(dest, vector)
-        self.wake_target(dest)
-        return None
-
     def _vcimt_lookup(self, vcpu: VCpu, dest_index: int) -> VCpu:
         """Read the VCIMT entry for ``dest_index`` from the memory the
         guest hypervisor registered via the VCIMTAR."""
@@ -455,55 +301,25 @@ class KvmHypervisor:
             raise RuntimeError(f"VCIMT has no entry for vCPU {dest_index}")
         return entry
 
-    # ------------------------------------------------------------------
-    def _emulate_hlt(self, vcpu: VCpu, exit_: Exit) -> Generator:
-        """Block the physical CPU until an interrupt arrives."""
-        c = self.costs
-        if vcpu.lapic.has_pending() or vcpu.pi_desc.has_pending:
-            # Interrupt already pending: don't block (the wait loop will
-            # pick it up on re-entry).
-            yield c.emul_trivial
-            return None
-        self.metrics.count("halts")
-        pcpu = vcpu.pcpu
-        pcpu.running_vcpu = None
-        ev = pcpu.block()
-        yield ev
-        pcpu.running_vcpu = vcpu
-        self.metrics.charge("l0_emul", c.halt_wake_sched)
-        yield c.halt_wake_sched
-        return None
-
-    # ------------------------------------------------------------------
-    def _emulate_mmio(self, vcpu: VCpu, exit_: Exit) -> Generator:
-        """Trapped MMIO: decode, then emulate the device access."""
-        c = self.costs
-        info = exit_.info
-        self.metrics.charge("l0_emul", c.emul_mmio_decode)
-        yield c.emul_mmio_decode
-        device = info.get("device")
-        if device is None:
-            yield c.emul_trivial
-            return None
-        if vcpu.level >= 2:
-            # Virtual-passthrough doorbell from a nested VM: L0 must walk
-            # the VM's EPT to check the faulting address before handling
-            # the access itself (§4's explanation of the DevNotify gap).
-            walk = c.vp_nested_ept_walk + (vcpu.level - 2) * c.ept_violation_fix
-            self.metrics.charge("dvh_emul", walk)
-            yield walk
-        self.metrics.charge("l0_emul", c.emul_virtio_kick)
-        yield c.emul_virtio_kick
-        device.mmio_write(info.get("addr", 0), info.get("value"))
-        return None
+    def _host_controls(self) -> ExecControl:
+        ctl = ExecControl()
+        ctl.hlt_exiting = True
+        ctl.apicv = self.capability.apicv
+        ctl.posted_interrupts = self.capability.posted_interrupts
+        return ctl
 
     # ==================================================================
     # L0: interrupt delivery plumbing
     # ==================================================================
-    def deliver_posted(self, vcpu: VCpu, vector: int) -> None:
+    def deliver_posted(
+        self, vcpu: VCpu, vector: int, ectx: Optional[ExitContext] = None
+    ) -> None:
         """Post ``vector`` to a vCPU (no exit if it is running)."""
         vcpu.pi_desc.post(vector)
-        self.metrics.charge("l0_emul", self.costs.posted_interrupt_delivery)
+        if ectx is not None:
+            ectx.charge("l0_emul", self.costs.posted_interrupt_delivery)
+        else:
+            self.metrics.charge("l0_emul", self.costs.posted_interrupt_delivery)
 
     def wake_target(self, vcpu: VCpu) -> bool:
         """Wake the physical CPU a vCPU is pinned to if it is halted."""
@@ -580,7 +396,7 @@ class KvmHypervisor:
     # Guest hypervisor: exit handling (runs as guest code!)
     # ==================================================================
     def op_counts(self, reason: ExitReason) -> Tuple[int, int]:
-        reads, writes = self.OP_COUNTS.get(reason, (9, 8))
+        reads, writes = self.profile.reason_op_counts(reason)
         if not self.capability.vmcs_shadowing:
             # Ablation: without shadowing, every access traps.
             extra = self.costs.ghv_vmcs_unshadowed_total - (reads + writes)
@@ -588,30 +404,35 @@ class KvmHypervisor:
             writes += extra // 2
         return reads, writes
 
-    def handle_guest_exit(self, ctx: VCpu, exit_: Exit) -> Generator:
+    def handle_guest_exit(
+        self, ctx: VCpu, exit_: Exit, ectx: Optional[ExitContext] = None
+    ) -> Generator:
         """Handle an exit from this hypervisor's own guest.
 
         ``ctx`` is the vCPU of the VM this hypervisor runs in: all
         privileged operations below trap to L0 (and further, if ``ctx``
         is itself nested) — the paper's exit multiplication.
         """
-        assert self.level >= 1, "L0 handles exits in _emulate, not here"
+        assert self.level >= 1, "L0 handles exits through the registry, not here"
+        if ectx is None:
+            ectx = ExitContext(exit_, exit_.vcpu, None, self.machine)
         c = self.costs
         guest_vmcs = exit_.vcpu.chain_vcpu(self.level + 1).vmcs
         reads, writes = self.op_counts(exit_.reason)
         # Exit-information reads: shadowed (free) + residual trapping ones.
         yield from ctx.execute(
             Op.VMREAD,
-            count=self.SHADOWED_ACCESSES,
+            count=self.profile.shadowed_accesses,
             vmcs=guest_vmcs,
             field=VmcsField.EXIT_REASON,
         )
         yield from ctx.execute(
             Op.VMREAD, count=reads, vmcs=guest_vmcs, field=VmcsField.PROC_CONTROLS
         )
-        self.metrics.charge("ghv_handler", c.ghv_handler_sw)
+        ectx.charge("ghv_handler", c.ghv_handler_sw)
         yield from ctx.compute(c.ghv_handler_sw)
-        result = yield from self._handle_reason_as_guest(ctx, exit_, guest_vmcs)
+        handler = self.registry.guest_handler(exit_.reason, self.profile)
+        result = yield from handler(self, ctx, ectx, guest_vmcs)
         yield from ctx.execute(
             Op.VMWRITE,
             count=writes,
@@ -624,11 +445,15 @@ class KvmHypervisor:
         )
         return result
 
-    def reinject_exit(self, ctx: VCpu, exit_: Exit) -> Generator:
+    def reinject_exit(
+        self, ctx: VCpu, exit_: Exit, ectx: Optional[ExitContext] = None
+    ) -> Generator:
         """Pass an exit owned by a deeper hypervisor one level up (§2)."""
+        if ectx is None:
+            ectx = ExitContext(exit_, exit_.vcpu, None, self.machine)
         c = self.costs
         guest_vmcs = exit_.vcpu.chain_vcpu(self.level + 1).vmcs
-        self.metrics.charge("ghv_handler", c.ghv_reinject_sw)
+        ectx.charge("ghv_handler", c.ghv_reinject_sw)
         yield from ctx.compute(c.ghv_reinject_sw)
         yield from ctx.execute(
             Op.VMWRITE,
@@ -640,124 +465,19 @@ class KvmHypervisor:
         yield from ctx.execute(Op.VMRESUME, target_vcpu=exit_.vcpu, vmcs=guest_vmcs)
 
     # ------------------------------------------------------------------
-    def _handle_reason_as_guest(
-        self, ctx: VCpu, exit_: Exit, guest_vmcs: Vmcs
-    ) -> Generator:
-        """Reason-specific emulation a guest hypervisor performs."""
-        c = self.costs
-        reason = exit_.reason
-        info = exit_.info
-        if reason is ExitReason.APIC_TIMER:
-            # Emulate the nested VM's timer with this hypervisor's own
-            # (which itself traps when programmed — recursion).
-            deadline_for_me = info["deadline"] - exit_.vcpu.vmcs.read(
-                VmcsField.TSC_OFFSET
-            )
-            if not info.get("shadow_only"):
-                host_deadline = deadline_for_me - ctx.total_tsc_offset()
-                self._hv_at(0)._arm_hrtimer(
-                    exit_.vcpu,
-                    host_deadline,
-                    info.get("vector", TIMER_VECTOR),
-                    provider_level=self.level,
-                )
-            yield from ctx.execute(
-                Op.WRMSR,
-                msr=MSR_TSC_DEADLINE,
-                deadline=deadline_for_me,
-                vector=TIMER_VECTOR,
-                shadow_only=True,
-            )
-            return None
-        if reason is ExitReason.APIC_ICR:
-            if info.get("notify_only"):
-                # Forwarding a notification request from a deeper
-                # hypervisor: send it on its behalf.
-                yield from ctx.execute(
-                    Op.WRMSR,
-                    msr=MSR_X2APIC_ICR,
-                    notify_only=True,
-                    target=info["target"],
-                    vector=info.get("vector", 0),
-                )
-                return None
-            dest = exit_.vcpu.vm.vcpus[info["dest"]]
-            yield from self.inject_interrupt(ctx, dest, info["vector"])
-            self._hv_at(0).wake_target(dest)
-            return None
-        if reason is ExitReason.HLT:
-            yield from ctx.compute(300)  # run-queue check
-            # §3.4: with another runnable nested VM, schedule it on this
-            # physical CPU instead of idling.
-            idle_vcpu = exit_.vcpu
-            scheduler = self.scheduler
-            if scheduler is not None:
-                while scheduler.has_runnable_sibling and not (
-                    idle_vcpu.lapic.has_pending() or idle_vcpu.pi_desc.has_pending
-                ):
-                    yield from scheduler.run_sibling_quantum(ctx, idle_vcpu)
-            if not (idle_vcpu.lapic.has_pending() or idle_vcpu.pi_desc.has_pending):
-                # Nothing else to run: idle this hypervisor itself
-                # (multi-level low-power entry).
-                yield from ctx.execute(Op.HLT)
-            # Woken: sync pending state into the nested VM and resume it
-            # (costs fall out of the trapped ops + the VMRESUME tail).
-            wr, ww = self.WAKE_OPS
-            yield from ctx.execute(
-                Op.VMREAD, count=wr, vmcs=guest_vmcs, field=VmcsField.PIN_CONTROLS
-            )
-            yield from ctx.execute(
-                Op.VMWRITE,
-                count=ww,
-                vmcs=guest_vmcs,
-                field=VmcsField.ENTRY_INTR_INFO,
-                value=0,
-            )
-            return None
-        if reason is ExitReason.MMIO:
-            device = info.get("device")
-            backend = self.backends.get(device)
-            self.metrics.charge("ghv_handler", c.emul_mmio_decode)
-            yield from ctx.compute(c.emul_mmio_decode)
-            if device is not None:
-                device.mmio_write(info.get("addr", 0), info.get("value"))
-            if backend is not None:
-                yield from backend.notify_from_guest(ctx)
-            return None
-        if reason is ExitReason.VMX_INSTRUCTION:
-            # Emulate a VMX instruction for a nested hypervisor: touch the
-            # deeper vmcs in guest memory, then the tail VMRESUME re-runs
-            # the nested guest.
-            op = exit_.op
-            vmcs: Optional[Vmcs] = info.get("vmcs")
-            fieldname: Optional[VmcsField] = info.get("field")
-            yield from ctx.compute(c.emul_vmcs_access)
-            if op is Op.VMWRITE and vmcs is not None and fieldname is not None:
-                vmcs.write(fieldname, info.get("value"))
-                return None
-            if op is Op.VMREAD and vmcs is not None and fieldname is not None:
-                return vmcs.read(fieldname)
-            if op in (Op.VMRESUME, Op.VMLAUNCH):
-                target: Optional[VCpu] = info.get("target_vcpu")
-                if target is not None:
-                    yield from ctx.compute(c.emul_vmresume_merge // 4)
-                return None
-            return None
-        if reason is ExitReason.VMCALL:
-            yield from ctx.compute(c.emul_hypercall)
-            return None
-        # CPUID / MSR / IO / EPT...
-        yield from ctx.compute(c.emul_trivial)
-        return None
-
-    # ------------------------------------------------------------------
     def inject_interrupt(self, ctx: VCpu, target: VCpu, vector: int) -> Generator:
         """This guest hypervisor injects an interrupt into its (possibly
         nested) guest using posted interrupts: update the PI descriptor,
         then ask the physical CPU to send the notification — which traps
         (Figure 4 steps 3-5)."""
         c = self.costs
-        self.metrics.charge("ghv_handler", c.ghv_inject_sw)
+        ectx = ctx.exit_context
+        if ectx is not None:
+            # Inside a dispatch: attribute to the live trap frame's span.
+            ectx.charge("ghv_handler", c.ghv_inject_sw)
+        else:
+            # Softirq path (timer fire): no frame, plain metrics charge.
+            self.metrics.charge("ghv_handler", c.ghv_inject_sw)
         yield from ctx.compute(c.ghv_inject_sw)
         yield c.pi_descriptor_update
         target.pi_desc.post(vector)
@@ -794,3 +514,341 @@ class KvmHypervisor:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"
+
+
+# ======================================================================
+# L0 emulation handlers
+# ======================================================================
+# Each handler is ``fn(hv, ectx)`` where ``hv`` is the host hypervisor
+# and ``ectx`` the trap frame; the vCPU and the exit ride in the frame.
+# ``dvh_capable`` marks reasons whose direct L0 handling of a *nested*
+# VM's exit is a DVH mechanism (virtual timer/IPI/idle/passthrough).
+
+
+@DEFAULT_REGISTRY.register_l0(ExitReason.VMCALL)
+def _l0_hypercall(hv: KvmHypervisor, ectx: ExitContext) -> Generator:
+    c = hv.costs
+    ectx.charge("l0_emul", c.emul_hypercall)
+    yield c.emul_hypercall
+    return None
+
+
+@DEFAULT_REGISTRY.register_l0(
+    ExitReason.CPUID, ExitReason.MSR_READ, ExitReason.MSR_WRITE, default=True
+)
+def _l0_trivial(hv: KvmHypervisor, ectx: ExitContext) -> Generator:
+    c = hv.costs
+    ectx.charge("l0_emul", c.emul_trivial)
+    yield c.emul_trivial
+    return None
+
+
+@DEFAULT_REGISTRY.register_l0(ExitReason.EPT_VIOLATION)
+def _l0_ept_violation(hv: KvmHypervisor, ectx: ExitContext) -> Generator:
+    c = hv.costs
+    ectx.charge("l0_emul", c.ept_violation_fix)
+    yield c.ept_violation_fix
+    return None
+
+
+@DEFAULT_REGISTRY.register_l0(ExitReason.VMX_INSTRUCTION)
+def _l0_vmx(hv: KvmHypervisor, ectx: ExitContext) -> Generator:
+    """Emulate a VMX instruction executed by a guest hypervisor."""
+    c = hv.costs
+    op = ectx.exit_.op
+    info = ectx.exit_.info
+    if op in (Op.VMREAD, Op.VMWRITE):
+        ectx.charge("l0_emul", c.emul_vmcs_access)
+        yield c.emul_vmcs_access
+        vmcs: Optional[Vmcs] = info.get("vmcs")
+        fieldname: Optional[VmcsField] = info.get("field")
+        if vmcs is not None and fieldname is not None:
+            if op is Op.VMWRITE:
+                vmcs.write(fieldname, info.get("value"))
+                return None
+            return vmcs.read(fieldname)
+        return None
+    if op is Op.VMPTRLD:
+        ectx.charge("l0_emul", c.emul_vmptrld)
+        yield c.emul_vmptrld
+        return None
+    if op in (Op.VMRESUME, Op.VMLAUNCH):
+        # The expensive part of nested virtualization: merge the guest
+        # hypervisor's vmcs12 into the VMCS L0 actually runs with.
+        ectx.charge("l0_emul", c.emul_vmresume_merge)
+        yield c.emul_vmresume_merge
+        target: Optional[VCpu] = info.get("target_vcpu")
+        if target is not None and target.level >= 2:
+            target.merged_vmcs.merge_from(target.vmcs, hv._host_controls())
+            target.merged_vmcs.write(
+                VmcsField.TSC_OFFSET, target.total_tsc_offset()
+            )
+            # Hardware syncs pending posted interrupts on VM entry.
+            target.pi_desc.sync_to(target.lapic)
+        return None
+    ectx.charge("l0_emul", c.emul_trivial)
+    yield c.emul_trivial
+    return None
+
+
+@DEFAULT_REGISTRY.register_l0(ExitReason.APIC_TIMER, dvh_capable=True)
+def _l0_timer(hv: KvmHypervisor, ectx: ExitContext) -> Generator:
+    """LAPIC TSC-deadline emulation; for nested vCPUs this is the DVH
+    virtual timer (§3.2), reached only when routing said so."""
+    c = hv.costs
+    vcpu = ectx.vcpu
+    info = ectx.exit_.info
+    if vcpu.level >= 2:
+        # Virtual timer: combine the TSC offsets of every level
+        # (already folded into the merged VMCS by §3.2's rule).
+        walk = (vcpu.level - 1) * c.dvh_nested_emul
+        ectx.charge("dvh_emul", walk)
+        yield walk
+    ectx.charge("l0_emul", c.emul_timer_program)
+    yield c.emul_timer_program
+    if info.get("shadow_only"):
+        # A guest hypervisor programming its own hardware timer as
+        # part of emulating its guest's timer: the authoritative
+        # nested-timer record was registered by that hypervisor.
+        return None
+    deadline_guest = info["deadline"]
+    vector = info.get("vector", TIMER_VECTOR)
+    host_deadline = deadline_guest - vcpu.total_tsc_offset()
+    hv._arm_hrtimer(vcpu, host_deadline, vector, provider_level=0)
+    return None
+
+
+@DEFAULT_REGISTRY.register_l0(ExitReason.APIC_ICR, dvh_capable=True)
+def _l0_ipi(hv: KvmHypervisor, ectx: ExitContext) -> Generator:
+    """ICR-write emulation: normal for L1 vCPUs, DVH virtual IPI
+    (§3.3) for nested vCPUs."""
+    c = hv.costs
+    vcpu = ectx.vcpu
+    info = ectx.exit_.info
+    if info.get("notify_only"):
+        # Figure 4 step 4/5: a (guest) hypervisor already updated the
+        # PI descriptor; send the physical notification.
+        target: VCpu = info["target"]
+        ectx.charge("l0_emul", c.emul_ipi_send + c.physical_ipi)
+        yield c.emul_ipi_send + c.physical_ipi
+        hv.deliver_posted(target, info.get("vector", 0), ectx)
+        hv.wake_target(target)
+        return None
+    dest_index = info["dest"]
+    vector = info["vector"]
+    if vcpu.level >= 2:
+        # Virtual IPI: find the destination through the virtual CPU
+        # interrupt mapping table the guest hypervisor registered
+        # (§3.3, Figure 5).  The emulation is a bit costlier than the
+        # L1 path: reading the table from guest memory and validating
+        # the virtual ICR state per level.
+        extra = c.vcimt_lookup + (vcpu.level - 1) * c.dvh_nested_emul
+        ectx.charge("dvh_emul", extra)
+        yield extra
+        dest = hv._vcimt_lookup(vcpu, dest_index)
+    else:
+        dest = vcpu.vm.vcpus[dest_index]
+    ectx.charge("l0_emul", c.emul_ipi_send)
+    yield c.emul_ipi_send
+    ectx.charge("l0_emul", c.pi_descriptor_update + c.physical_ipi)
+    yield c.pi_descriptor_update
+    dest.pi_desc.post(vector)
+    yield c.physical_ipi
+    hv.metrics.record_interrupt("ipi", "posted")
+    hv.deliver_posted(dest, vector, ectx)
+    hv.wake_target(dest)
+    return None
+
+
+@DEFAULT_REGISTRY.register_l0(ExitReason.HLT, dvh_capable=True)
+def _l0_hlt(hv: KvmHypervisor, ectx: ExitContext) -> Generator:
+    """Block the physical CPU until an interrupt arrives."""
+    c = hv.costs
+    vcpu = ectx.vcpu
+    if vcpu.lapic.has_pending() or vcpu.pi_desc.has_pending:
+        # Interrupt already pending: don't block (the wait loop will
+        # pick it up on re-entry).
+        yield c.emul_trivial
+        return None
+    hv.metrics.count("halts")
+    pcpu = vcpu.pcpu
+    pcpu.running_vcpu = None
+    ev = pcpu.block()
+    yield ev
+    pcpu.running_vcpu = vcpu
+    ectx.charge("l0_emul", c.halt_wake_sched)
+    yield c.halt_wake_sched
+    return None
+
+
+@DEFAULT_REGISTRY.register_l0(ExitReason.MMIO, dvh_capable=True)
+def _l0_mmio(hv: KvmHypervisor, ectx: ExitContext) -> Generator:
+    """Trapped MMIO: decode, then emulate the device access."""
+    c = hv.costs
+    vcpu = ectx.vcpu
+    info = ectx.exit_.info
+    ectx.charge("l0_emul", c.emul_mmio_decode)
+    yield c.emul_mmio_decode
+    device = info.get("device")
+    if device is None:
+        yield c.emul_trivial
+        return None
+    if vcpu.level >= 2:
+        # Virtual-passthrough doorbell from a nested VM: L0 must walk
+        # the VM's EPT to check the faulting address before handling
+        # the access itself (§4's explanation of the DevNotify gap).
+        walk = c.vp_nested_ept_walk + (vcpu.level - 2) * c.ept_violation_fix
+        ectx.charge("dvh_emul", walk)
+        yield walk
+    ectx.charge("l0_emul", c.emul_virtio_kick)
+    yield c.emul_virtio_kick
+    device.mmio_write(info.get("addr", 0), info.get("value"))
+    return None
+
+
+# ======================================================================
+# Guest-hypervisor handlers (run as guest code on ``ctx``)
+# ======================================================================
+# Each handler is ``fn(hv, ctx, ectx, guest_vmcs)``: ``hv`` is the owning
+# guest hypervisor, ``ctx`` the vCPU its handler code runs on, ``ectx``
+# the (unchanged) trap frame of the forwarded exit.  Flavour differences
+# come from ``hv.profile`` — base handlers are registered with
+# ``profile=None`` and serve every flavour.
+
+
+@DEFAULT_REGISTRY.register_guest(ExitReason.APIC_TIMER)
+def _guest_timer(hv, ctx: VCpu, ectx: ExitContext, guest_vmcs: Vmcs) -> Generator:
+    """Emulate the nested VM's timer with this hypervisor's own
+    (which itself traps when programmed — recursion)."""
+    exit_ = ectx.exit_
+    info = exit_.info
+    deadline_for_me = info["deadline"] - exit_.vcpu.vmcs.read(VmcsField.TSC_OFFSET)
+    if not info.get("shadow_only"):
+        host_deadline = deadline_for_me - ctx.total_tsc_offset()
+        hv._hv_at(0)._arm_hrtimer(
+            exit_.vcpu,
+            host_deadline,
+            info.get("vector", TIMER_VECTOR),
+            provider_level=hv.level,
+        )
+    yield from ctx.execute(
+        Op.WRMSR,
+        msr=MSR_TSC_DEADLINE,
+        deadline=deadline_for_me,
+        vector=TIMER_VECTOR,
+        shadow_only=True,
+    )
+    return None
+
+
+@DEFAULT_REGISTRY.register_guest(ExitReason.APIC_ICR)
+def _guest_ipi(hv, ctx: VCpu, ectx: ExitContext, guest_vmcs: Vmcs) -> Generator:
+    exit_ = ectx.exit_
+    info = exit_.info
+    if info.get("notify_only"):
+        # Forwarding a notification request from a deeper
+        # hypervisor: send it on its behalf.
+        yield from ctx.execute(
+            Op.WRMSR,
+            msr=MSR_X2APIC_ICR,
+            notify_only=True,
+            target=info["target"],
+            vector=info.get("vector", 0),
+        )
+        return None
+    dest = exit_.vcpu.vm.vcpus[info["dest"]]
+    yield from hv.inject_interrupt(ctx, dest, info["vector"])
+    hv._hv_at(0).wake_target(dest)
+    return None
+
+
+@DEFAULT_REGISTRY.register_guest(ExitReason.HLT)
+def _guest_hlt(hv, ctx: VCpu, ectx: ExitContext, guest_vmcs: Vmcs) -> Generator:
+    yield from ctx.compute(300)  # run-queue check
+    # §3.4: with another runnable nested VM, schedule it on this
+    # physical CPU instead of idling.
+    idle_vcpu = ectx.exit_.vcpu
+    scheduler = hv.scheduler
+    if scheduler is not None:
+        while scheduler.has_runnable_sibling and not (
+            idle_vcpu.lapic.has_pending() or idle_vcpu.pi_desc.has_pending
+        ):
+            yield from scheduler.run_sibling_quantum(ctx, idle_vcpu)
+    if not (idle_vcpu.lapic.has_pending() or idle_vcpu.pi_desc.has_pending):
+        # Nothing else to run: idle this hypervisor itself
+        # (multi-level low-power entry).
+        yield from ctx.execute(Op.HLT)
+    # Woken: sync pending state into the nested VM and resume it
+    # (costs fall out of the trapped ops + the VMRESUME tail).
+    wr, ww = hv.profile.wake_ops
+    yield from ctx.execute(
+        Op.VMREAD, count=wr, vmcs=guest_vmcs, field=VmcsField.PIN_CONTROLS
+    )
+    yield from ctx.execute(
+        Op.VMWRITE,
+        count=ww,
+        vmcs=guest_vmcs,
+        field=VmcsField.ENTRY_INTR_INFO,
+        value=0,
+    )
+    return None
+
+
+@DEFAULT_REGISTRY.register_guest(ExitReason.MMIO)
+def _guest_mmio(hv, ctx: VCpu, ectx: ExitContext, guest_vmcs: Vmcs) -> Generator:
+    c = hv.costs
+    info = ectx.exit_.info
+    profile = hv.profile
+    if profile.io_notify_sw:
+        # Split-driver model (Xen): the trapped notification is converted
+        # to an event-channel upcall into dom0's netback, costing an
+        # extra hypercall round trip before the backend runs.
+        yield from ctx.compute(profile.io_notify_sw)
+        yield from ctx.execute(Op.VMCALL, purpose=profile.io_notify_hypercall)
+    device = info.get("device")
+    backend = hv.backends.get(device)
+    ectx.charge("ghv_handler", c.emul_mmio_decode)
+    yield from ctx.compute(c.emul_mmio_decode)
+    if device is not None:
+        device.mmio_write(info.get("addr", 0), info.get("value"))
+    if backend is not None:
+        yield from backend.notify_from_guest(ctx)
+    return None
+
+
+@DEFAULT_REGISTRY.register_guest(ExitReason.VMX_INSTRUCTION)
+def _guest_vmx(hv, ctx: VCpu, ectx: ExitContext, guest_vmcs: Vmcs) -> Generator:
+    """Emulate a VMX instruction for a nested hypervisor: touch the
+    deeper vmcs in guest memory, then the tail VMRESUME re-runs
+    the nested guest."""
+    c = hv.costs
+    exit_ = ectx.exit_
+    info = exit_.info
+    op = exit_.op
+    vmcs: Optional[Vmcs] = info.get("vmcs")
+    fieldname: Optional[VmcsField] = info.get("field")
+    yield from ctx.compute(c.emul_vmcs_access)
+    if op is Op.VMWRITE and vmcs is not None and fieldname is not None:
+        vmcs.write(fieldname, info.get("value"))
+        return None
+    if op is Op.VMREAD and vmcs is not None and fieldname is not None:
+        return vmcs.read(fieldname)
+    if op in (Op.VMRESUME, Op.VMLAUNCH):
+        target: Optional[VCpu] = info.get("target_vcpu")
+        if target is not None:
+            yield from ctx.compute(c.emul_vmresume_merge // 4)
+        return None
+    return None
+
+
+@DEFAULT_REGISTRY.register_guest(ExitReason.VMCALL)
+def _guest_vmcall(hv, ctx: VCpu, ectx: ExitContext, guest_vmcs: Vmcs) -> Generator:
+    yield from ctx.compute(hv.costs.emul_hypercall)
+    return None
+
+
+@DEFAULT_REGISTRY.register_guest(default=True)
+def _guest_trivial(hv, ctx: VCpu, ectx: ExitContext, guest_vmcs: Vmcs) -> Generator:
+    # CPUID / MSR / IO / EPT...
+    yield from ctx.compute(hv.costs.emul_trivial)
+    return None

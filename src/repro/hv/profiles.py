@@ -1,0 +1,98 @@
+"""Declarative hypervisor profiles.
+
+A :class:`HypervisorProfile` captures everything that distinguishes one
+guest-hypervisor flavour from another as **data**: how many trapping
+VMCS accesses its exit handlers perform per reason, how much of the exit
+information VMCS shadowing absorbs, and any extra I/O-notification work
+its driver model imposes.  The dispatch core
+(:mod:`repro.hv.dispatch`) and the shared exit handlers in
+:mod:`repro.hv.kvm` consult the profile; adding a hypervisor flavour
+means writing a profile, not subclass method surgery.
+
+Two profiles ship:
+
+* ``kvm`` — the paper's host and guest hypervisor (Linux/KVM 4.18);
+* ``xen`` — Xen 4.10 as the guest hypervisor (Figure 10): heavier
+  trapping VMCS access patterns (its nested exit handling is less tuned
+  for running *under* another hypervisor) and a split-driver I/O model
+  whose notifications hop through an event channel into dom0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.hw.ops import ExitReason
+
+__all__ = ["HypervisorProfile", "KVM_PROFILE", "XEN_PROFILE", "PROFILES"]
+
+
+#: Trapping (read, write) VMCS-access counts per handled exit reason for
+#: KVM's handlers: the residual non-shadowed accesses made with VMCS
+#: shadowing enabled.
+_KVM_OP_COUNTS: Dict[ExitReason, Tuple[int, int]] = {
+    ExitReason.VMCALL: (8, 8),
+    ExitReason.CPUID: (7, 6),
+    ExitReason.MSR_READ: (7, 6),
+    ExitReason.MSR_WRITE: (7, 6),
+    ExitReason.VMX_INSTRUCTION: (9, 8),
+    ExitReason.MMIO: (11, 9),
+    ExitReason.EPT_VIOLATION: (8, 7),
+    ExitReason.IO_INSTRUCTION: (10, 9),
+    ExitReason.APIC_TIMER: (10, 8),
+    ExitReason.APIC_ICR: (9, 7),
+    ExitReason.HLT: (4, 3),
+    ExitReason.EXTERNAL_INTERRUPT: (3, 2),
+    ExitReason.PREEMPTION_TIMER: (3, 2),
+}
+
+
+@dataclass(frozen=True)
+class HypervisorProfile:
+    """One guest-hypervisor flavour, as pure data."""
+
+    #: Profile key: guest handlers registered for this profile override
+    #: the base handlers registered with ``profile=None``.
+    name: str
+    #: Trapping (read, write) VMCS accesses per handled exit reason.
+    op_counts: Dict[ExitReason, Tuple[int, int]] = field(default_factory=dict)
+    #: (read, write) fallback for reasons missing from :attr:`op_counts`.
+    default_op_counts: Tuple[int, int] = (9, 8)
+    #: Shadowed (non-trapping) VMCS accesses per handled exit.
+    shadowed_accesses: int = 26
+    #: Trapped (read, write) accesses on the wake path after an emulated
+    #: HLT returns.
+    wake_ops: Tuple[int, int] = (2, 1)
+    #: Extra software cycles per I/O notification before the backend runs
+    #: (Xen: the event-channel hop from the device model to netback in
+    #: dom0).  Zero disables the hop entirely.
+    io_notify_sw: int = 0
+    #: Purpose tag of the hypercall the I/O-notification hop performs
+    #: (the trapped ``VMCALL`` is charged like any other exit).
+    io_notify_hypercall: Optional[str] = None
+
+    def reason_op_counts(self, reason: ExitReason) -> Tuple[int, int]:
+        return self.op_counts.get(reason, self.default_op_counts)
+
+
+KVM_PROFILE = HypervisorProfile(name="kvm", op_counts=dict(_KVM_OP_COUNTS))
+
+#: Xen's handlers perform more trapping VMCS accesses per exit than
+#: KVM-on-KVM (nested Xen cannot exploit VMCS shadowing as well), and its
+#: split-driver model adds an event-channel hypercall per notification.
+XEN_PROFILE = HypervisorProfile(
+    name="xen",
+    op_counts={
+        reason: (reads + 5, writes + 4)
+        for reason, (reads, writes) in _KVM_OP_COUNTS.items()
+    },
+    shadowed_accesses=34,
+    io_notify_sw=1400,
+    io_notify_hypercall="evtchn_send",
+)
+
+PROFILES: Dict[str, HypervisorProfile] = {
+    KVM_PROFILE.name: KVM_PROFILE,
+    XEN_PROFILE.name: XEN_PROFILE,
+}

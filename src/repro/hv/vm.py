@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, List, Optional, Tuple
 
+from repro.hv.dispatch import ExitContext
 from repro.hw.cpu import ExecutionContext, PhysicalCpu
 from repro.hw.ept import PageTable
 from repro.hw.lapic import Lapic, TIMER_VECTOR
@@ -178,8 +179,16 @@ class VCpu(ExecutionContext):
     # ------------------------------------------------------------------
     def compute(self, cycles: int) -> Generator:
         """Unprivileged guest work runs at native speed (hardware
-        virtualization), so it just consumes time."""
-        self.metrics.charge("guest_work", cycles)
+        virtualization), so it just consumes time.
+
+        Guest-hypervisor handler code computes while a trap frame is
+        live on this vCPU; its cycles then belong to that frame's span.
+        """
+        ectx = self.exit_context
+        if ectx is None:
+            self.metrics.charge("guest_work", cycles)
+        else:
+            ectx.charge("guest_work", cycles)
         yield cycles
 
     def mem_write(self, addr: int, size: int) -> None:
@@ -225,10 +234,17 @@ class VCpu(ExecutionContext):
             return None
 
         # --- Full trap path -----------------------------------------
+        # The trap site: each trapping operation gets a trap frame
+        # (ExitContext) here and carries it, unmodified, through L0
+        # dispatch, forwarding, and guest-hypervisor re-entry.  A frame
+        # created while a handler's frame is live on this vCPU is a child
+        # of the same exit chain.
         result = None
+        machine = self.vm.machine
         for _ in range(count):
             exit_ = self._make_exit(op, info)
-            result = yield from self.host_hv.dispatch_exit(self, exit_)
+            ectx = ExitContext(exit_, self, self.exit_context, machine)
+            result = yield from self.host_hv.dispatch_exit(self, exit_, ectx)
         return result
 
     def _make_exit(self, op: Op, info: dict) -> Exit:

@@ -7,44 +7,30 @@ hypervisor-agnostic is a selling point of virtual-passthrough (§3.1), and
 Figure 10 shows DVH-VP delivering passthrough-like performance under Xen
 too.
 
-The model: same trap-and-emulate structure as KVM, but with Xen's cost
-profile — Xen's nested exit handling performs more trapping privileged
-operations (its VMCS handling is less tuned for running *under* another
-hypervisor), and its split-driver I/O model (netfront in the guest,
-netback in dom0) adds an extra domain crossing per I/O notification.
+The model: the same trap-and-emulate structure as KVM — literally the
+same dispatch registry and handler code — parameterized by Xen's
+declarative :data:`repro.hv.profiles.XEN_PROFILE`: more trapping
+privileged operations per nested exit (Xen's VMCS handling is less tuned
+for running *under* another hypervisor), and the split-driver I/O model
+(netfront in the guest, netback in dom0) adds an event-channel hypercall
+per I/O notification.  This class carries **no behavior**, only profile
+data.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Tuple
-
-from repro.hw.ops import ExitReason, Op
 from repro.hv.kvm import KvmHypervisor
+from repro.hv.profiles import XEN_PROFILE
 
 __all__ = ["XenHypervisor"]
 
 
 class XenHypervisor(KvmHypervisor):
-    """A Xen-flavoured guest hypervisor."""
+    """A Xen-flavoured guest hypervisor: KVM's machinery, Xen's profile."""
 
-    #: Xen's handlers perform more trapping VMCS accesses per exit than
-    #: KVM-on-KVM (nested Xen cannot exploit VMCS shadowing as well).
-    OP_COUNTS: Dict[ExitReason, Tuple[int, int]] = {
-        reason: (reads + 5, writes + 4)
-        for reason, (reads, writes) in KvmHypervisor.OP_COUNTS.items()
-    }
-    SHADOWED_ACCESSES = 34
+    profile = XEN_PROFILE
 
-    #: Extra software cycles per I/O notification for the event-channel
-    #: hop from the device model to netback in dom0.
-    EVENT_CHANNEL_SW = 1400
-
-    def _handle_reason_as_guest(self, ctx, exit_, guest_vmcs) -> Generator:
-        if exit_.reason is ExitReason.MMIO:
-            # Split-driver model: the trapped notification is converted to
-            # an event-channel upcall into dom0's netback, costing an
-            # extra hypercall round trip before the backend runs.
-            yield from ctx.compute(self.EVENT_CHANNEL_SW)
-            yield from ctx.execute(Op.VMCALL, purpose="evtchn_send")
-        result = yield from super()._handle_reason_as_guest(ctx, exit_, guest_vmcs)
-        return result
+    #: Legacy aliases into the profile (see KvmHypervisor).
+    OP_COUNTS = XEN_PROFILE.op_counts
+    SHADOWED_ACCESSES = XEN_PROFILE.shadowed_accesses
+    EVENT_CHANNEL_SW = XEN_PROFILE.io_notify_sw

@@ -89,6 +89,12 @@ class ExecutionContext:
     level: int = 0
     name: str = "ctx"
     lapic: Lapic
+    #: The live trap frame (repro.hv.dispatch.ExitContext) whose handler
+    #: this context is currently executing, or None outside any dispatch.
+    #: Set/restored by the forwarding path around guest-hypervisor handler
+    #: invocation; privileged operations executed while it is set trap
+    #: into *child* frames of the same exit chain (exit multiplication).
+    exit_context: Optional[Any] = None
 
     def compute(self, cycles: int) -> Generator:
         """Unprivileged guest work."""

@@ -54,6 +54,16 @@ class Machine:
         #: Attached fault injector (see repro.faults), or None for a
         #: fault-free machine.  Consulted by the migration wire.
         self.faults = None
+        #: Monotonic exit-chain id allocator (see repro.hv.dispatch): a
+        #: root trap frame gets a fresh chain id, every exit its handlers
+        #: cause inherits it.
+        self._next_chain_id = 0
+        #: Span collector (repro.metrics.spans), or None = tracing off.
+        #: Kept off the Metrics object so snapshots and fuzz digests are
+        #: identical with tracing on or off.
+        self.spans = None
+        #: Per-chain exit accounting hook (repro.faults.chains), or None.
+        self.chain_tracker = None
         self.wire = Wire(self.sim, self.costs.nic_bps, self.costs.wire_latency)
         self.nic: PhysicalNic = self.bus.plug(PhysicalNic("eth0", self.wire))
         self.ssd: SsdDevice = self.bus.plug(SsdDevice("ssd0", self.sim, self.costs))
@@ -78,6 +88,25 @@ class Machine:
 
     def cpu(self, idx: int) -> PhysicalCpu:
         return self.cpus[idx]
+
+    # ------------------------------------------------------------------
+    # Exit chains and span tracing
+    # ------------------------------------------------------------------
+    def new_chain_id(self) -> int:
+        """Allocate the id for a new exit chain (root trap frame)."""
+        self._next_chain_id += 1
+        return self._next_chain_id
+
+    def enable_span_tracing(self, tracer=None, max_chains: int = 4096):
+        """Turn on span-level cycle attribution for this machine.
+
+        Returns the :class:`repro.metrics.spans.SpanCollector`.  Tracing
+        changes nothing observable about the simulation — only what is
+        *recorded* about it."""
+        from repro.metrics.spans import SpanCollector
+
+        self.spans = SpanCollector(self.sim, tracer=tracer, max_chains=max_chains)
+        return self.spans
 
     @property
     def freq_hz(self) -> int:

@@ -1,5 +1,6 @@
-"""Measurement: exit counters, cycle attribution, and reports."""
+"""Measurement: exit counters, cycle attribution, spans, and reports."""
 
 from repro.metrics.counters import Metrics
+from repro.metrics.spans import Span, SpanCollector
 
-__all__ = ["Metrics"]
+__all__ = ["Metrics", "Span", "SpanCollector"]

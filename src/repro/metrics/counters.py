@@ -19,6 +19,22 @@ __all__ = ["Metrics"]
 class Metrics:
     """Counters for one simulation run."""
 
+    #: Every counter table, in snapshot order.  ``snapshot``/``diff``/
+    #: ``copy`` iterate this registry, so adding a table means adding it
+    #: here (and ``test_metrics_tables`` fails if the registry and the
+    #: instance attributes drift apart).
+    _TABLES = (
+        "exits",
+        "forwards",
+        "l0_handled",
+        "dvh_handled",
+        "interrupts",
+        "cycles",
+        "events",
+        "faults",
+        "recoveries",
+    )
+
     def __init__(self) -> None:
         #: (from_level, reason_name) -> number of hardware exits to L0.
         self.exits: Counter = Counter()
@@ -107,32 +123,17 @@ class Metrics:
 
     def snapshot(self) -> Dict[str, Dict]:
         """A plain-dict snapshot for reports."""
-        return {
-            "exits": dict(self.exits),
-            "forwards": dict(self.forwards),
-            "l0_handled": dict(self.l0_handled),
-            "dvh_handled": dict(self.dvh_handled),
-            "interrupts": dict(self.interrupts),
-            "cycles": dict(self.cycles),
-            "events": dict(self.events),
-            "faults": dict(self.faults),
-            "recoveries": dict(self.recoveries),
-        }
+        return {table: dict(getattr(self, table)) for table in self._TABLES}
 
     def diff(self, earlier: "Metrics") -> "Metrics":
-        """Counters accumulated since ``earlier`` (a copied snapshot)."""
+        """Counters accumulated since ``earlier`` (a copied snapshot).
+
+        Only strictly positive deltas survive (Counter's unary ``+``):
+        counters are monotonic, so a negative delta means ``earlier``
+        is not actually an earlier snapshot of this object.
+        """
         out = Metrics()
-        for attr in (
-            "exits",
-            "forwards",
-            "l0_handled",
-            "dvh_handled",
-            "interrupts",
-            "cycles",
-            "events",
-            "faults",
-            "recoveries",
-        ):
+        for attr in self._TABLES:
             mine: Counter = getattr(self, attr)
             theirs: Counter = getattr(earlier, attr)
             result = Counter(mine)
@@ -142,16 +143,6 @@ class Metrics:
 
     def copy(self) -> "Metrics":
         out = Metrics()
-        for attr in (
-            "exits",
-            "forwards",
-            "l0_handled",
-            "dvh_handled",
-            "interrupts",
-            "cycles",
-            "events",
-            "faults",
-            "recoveries",
-        ):
+        for attr in self._TABLES:
             setattr(out, attr, Counter(getattr(self, attr)))
         return out
