@@ -34,6 +34,7 @@ fuzz-smoke:
 bench-perf:
 	PYTHONPATH=src python benchmarks/perf/perf_engine.py --out BENCH_engine.json
 	PYTHONPATH=src python benchmarks/perf/perf_experiments.py --tier1 --out BENCH_experiments.json
+	PYTHONPATH=src python benchmarks/perf/perf_cluster.py --out BENCH_cluster.json
 
 # CI guard: re-measure and compare against the *committed* baselines
 # without rewriting them.  Tolerances are generous (CI hosts differ from
@@ -41,6 +42,7 @@ bench-perf:
 bench-perf-check:
 	PYTHONPATH=src python benchmarks/perf/perf_engine.py --check --baseline BENCH_engine.json
 	PYTHONPATH=src python benchmarks/perf/perf_experiments.py --check BENCH_experiments.json
+	PYTHONPATH=src python benchmarks/perf/perf_cluster.py --check BENCH_cluster.json
 
 figures:
 	python -m repro table3
@@ -57,6 +59,7 @@ examples:
 	python examples/cloud_stack.py
 	python examples/why_is_it_slow.py
 	python examples/custom_workload.py
+	python examples/datacenter.py
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A four-host datacenter: placement, live migration, and link faults.
+
+This is the paper's §3.6 story at fleet scale.  Every host boots the
+full nested stack (L0 KVM + guest hypervisor) on one shared simulated
+clock, a ToR fabric connects them, and tenants land by placement
+policy.  Then host0 is evacuated while a fault plan partitions one of
+the destination links — the orchestrator retries through the window,
+and the asymmetry the paper predicts falls out on its own: the DVH
+virtual-passthrough and virtio tenants move; the tenant holding a
+physical VF does not.
+
+Run:  python examples/datacenter.py
+"""
+
+from repro.cluster import Cluster, TenantSpec
+from repro.core.migration import MigrationError, MigrationNotSupported
+from repro.faults.plan import FaultClass, FaultPlan, FaultSpec
+
+#: Partition host1's fabric link for the first 40M cycles (~16 ms at
+#: 2.5 GHz) so the first migration attempts toward it must retry.
+FAULTS = FaultPlan(
+    [
+        FaultSpec(
+            kind=FaultClass.FABRIC_PARTITION,
+            start=0,
+            end=40_000_000,
+            mechanisms=("host1",),
+        )
+    ]
+)
+
+FLEET = [
+    TenantSpec(name="web", io_model="virtio", memory_gb=8, load=900),
+    TenantSpec(name="db", io_model="vp", memory_gb=16, dirty_pages=128),
+    TenantSpec(name="cache", io_model="vp", memory_gb=8, load=1_400),
+    TenantSpec(name="hpc", io_model="passthrough", memory_gb=24),
+]
+
+
+def main() -> None:
+    cluster = Cluster(num_hosts=4, seed=0, policy="bin-pack", fault_plan=FAULTS)
+    print(f"booted {len(cluster.hosts)} hosts, policy=bin-pack, "
+          f"fabric={cluster.fabric.name}")
+
+    print("\n1) Placement (bin-pack fills host0 first):")
+    for spec in FLEET:
+        tenant = cluster.place(spec)
+        print(f"   {spec.name:6s} ({spec.io_model:11s}) -> {tenant.host}")
+
+    print("\n2) Evacuating host0 with host1's link partitioned:")
+    try:
+        records = cluster.orchestrator.evacuate("host0")
+    except (MigrationError, MigrationNotSupported):  # pragma: no cover
+        raise SystemExit("evacuation should degrade per-tenant, not raise")
+    for record in records:
+        if record.outcome == "ok":
+            result = record.result
+            print(
+                f"   {record.tenant:6s} -> {record.dst}: "
+                f"downtime {result.downtime_s * 1e3:.2f}ms, "
+                f"{result.bytes_transferred:,} bytes, "
+                f"{result.rounds} round(s), "
+                f"{record.attempts} attempt(s), {result.retries} retries"
+            )
+        else:
+            print(f"   {record.tenant:6s} {record.outcome}: {record.error}")
+
+    left = sorted(cluster.host("host0").tenants)
+    print(f"\n3) Still on host0: {left} — physical passthrough pins the "
+          "tenant to its hardware; DVH tenants all moved.")
+
+    stats = cluster.fabric.stats()
+    blocked = sum(1 for r in records if r.attempts > 1)
+    print(
+        f"\nfabric: {stats['frames']:,} frames, "
+        f"{stats['migration_bytes']:,} migration bytes; "
+        f"{blocked} migration(s) had to wait out the partition"
+    )
+    print(f"event-trace digest: {cluster.digest()[:16]} (stable for --seed 0)")
+
+
+if __name__ == "__main__":
+    main()

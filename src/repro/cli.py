@@ -190,6 +190,63 @@ def build_parser() -> argparse.ArgumentParser:
     add_stack_args(plan)
     add_seed_arg(plan)
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="multi-host datacenter: placement, cross-host DVH migration",
+    )
+    csub = cluster.add_subparsers(dest="mode", required=True)
+
+    def add_cluster_args(p, hosts_default=4):
+        p.add_argument("--hosts", type=int, default=hosts_default)
+        p.add_argument(
+            "--policy",
+            default="bin-pack",
+            choices=["bin-pack", "spread", "load-balance"],
+        )
+        p.add_argument("--guest-hv", default="kvm", choices=["kvm", "xen"])
+        p.add_argument(
+            "--faults",
+            nargs="*",
+            choices=sorted(FaultClass.FABRIC),
+            default=None,
+            help="fabric fault classes to draw a seed-derived plan from",
+        )
+        p.add_argument(
+            "--json", action="store_true", help="print machine-readable JSON"
+        )
+        add_seed_arg(p)
+
+    cdemo = csub.add_parser(
+        "demo", help="boot a cluster, place a fleet, evacuate a host"
+    )
+    cdemo.add_argument("--tenants", type=int, default=6)
+    add_cluster_args(cdemo)
+
+    cmig = csub.add_parser(
+        "migrate", help="one cross-host live migration (vp migrates, "
+        "passthrough refuses)"
+    )
+    cmig.add_argument(
+        "--io", default="vp", choices=["virtio", "vp", "passthrough"]
+    )
+    cmig.add_argument(
+        "--downtime-limit-ms",
+        type=float,
+        default=500.0,
+        help="abort if projected downtime exceeds this",
+    )
+    add_cluster_args(cmig, hosts_default=2)
+
+    csweep = csub.add_parser(
+        "sweep", help="sweep placement policies across cluster sizes"
+    )
+    csweep.add_argument("--tenants", type=int, default=6)
+    csweep.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON"
+    )
+    add_jobs_arg(csweep)
+    add_seed_arg(csweep)
+
     return parser
 
 
@@ -268,6 +325,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "faults":
         return _run_faults(args)
+
+    if args.command == "cluster":
+        return _run_cluster(args)
 
     if args.command == "app":
         stack = build_stack(_stack_config(args))
@@ -374,6 +434,115 @@ def _run_faults(args) -> int:
         for violation in violations:
             print(f"  - {violation}")
         return 1
+    return 0
+
+
+def _cluster_fault_plan(args):
+    from repro.faults import FaultPlan
+
+    if not getattr(args, "faults", None):
+        return None
+    return FaultPlan.random(args.seed, classes=args.faults, max_classes=2)
+
+
+def _run_cluster(args) -> int:
+    """The ``cluster`` subcommand: demo, single migration, policy sweep."""
+    import json
+
+    if args.mode == "sweep":
+        from repro.cluster.sweep import run_sweep
+
+        rows = run_sweep(seed=args.seed, num_tenants=args.tenants, jobs=args.jobs)
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"{'policy':<14} {'hosts':>5} {'per-host':>12} {'max load':>9} "
+            f"{'mig bytes':>12} {'downtime':>10}"
+        )
+        for row in rows:
+            mig = row["migration"]
+            downtime = f"{mig['downtime_ms']:.3f} ms" if mig else "-"
+            print(
+                f"{row['policy']:<14} {row['hosts']:>5} "
+                f"{str(row['tenants_per_host']):>12} {row['max_load']:>9} "
+                f"{row['fabric_migration_bytes']:>12,} {downtime:>10}"
+            )
+        return 0
+
+    if args.mode == "demo":
+        from repro.cluster.sweep import run_demo
+
+        summary = run_demo(
+            seed=args.seed,
+            num_hosts=args.hosts,
+            num_tenants=args.tenants,
+            policy=args.policy,
+            fault_plan=_cluster_fault_plan(args),
+        )
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"cluster demo: {args.hosts} hosts, {args.tenants} tenants, "
+            f"policy={args.policy}, seed={args.seed}"
+        )
+        for line in summary["trace"]:
+            print(f"  {line}")
+        fabric = summary["fabric"]
+        print(
+            f"fabric: {fabric['frames']} frames, "
+            f"{fabric['migration_bytes']:,} migration bytes, "
+            f"{fabric['net_bytes']:,} net bytes, "
+            f"{fabric['undeliverable']} undeliverable"
+        )
+        moved = [m for m in summary["migrations"] if m["outcome"] == "ok"]
+        stuck = [m for m in summary["migrations"] if m["outcome"] != "ok"]
+        print(
+            f"migrations: {len(moved)} ok, {len(stuck)} refused/failed "
+            f"(digest {summary['digest'][:16]})"
+        )
+        return 0
+
+    # mode == "migrate": one cross-host migration, asymmetry on display.
+    from repro.cluster import Cluster, TenantSpec
+    from repro.core.migration import MigrationError, MigrationNotSupported
+
+    cluster = Cluster(
+        num_hosts=max(2, args.hosts),
+        seed=args.seed,
+        policy=args.policy,
+        guest_hv=args.guest_hv,
+        fault_plan=_cluster_fault_plan(args),
+    )
+    cluster.place(TenantSpec(name="tenant0", io_model=args.io, memory_gb=8))
+    src = cluster.host_of("tenant0")
+    dst = [h for h in cluster.hosts if h.name != src.name][0]
+    try:
+        record = cluster.migrate(
+            "tenant0", dst.name, downtime_limit_s=args.downtime_limit_ms / 1e3
+        )
+    except MigrationNotSupported as exc:
+        print(f"migration refused (hardware-coupled): {exc}")
+        return 1
+    except MigrationError as exc:
+        print(f"migration failed: {exc}")
+        return 1
+    result = record.result
+    if args.json:
+        print(json.dumps(cluster.summary(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"migrated tenant0 ({args.io}) {src.name} -> {dst.name}: "
+        f"downtime {result.downtime_s * 1e3:.3f} ms, "
+        f"{result.rounds} pre-copy rounds, "
+        f"{result.bytes_transferred:,} bytes over the fabric, "
+        f"{result.retries} retries, {record.attempts} attempt(s)"
+    )
+    print(
+        f"fabric migration bytes: "
+        f"{cluster.fabric.metrics.cross_host_bytes('migration'):,}"
+    )
     return 0
 
 

@@ -1,0 +1,287 @@
+"""Cluster hosts and tenant VMs.
+
+A :class:`ClusterHost` is one datacenter server: a full
+:class:`~repro.hw.machine.Machine` built on the cluster's *shared*
+simulator, booted with a complete KVM (or Xen) hypervisor stack through
+:func:`repro.hv.stack.build_stack`.  Tenant VMs are then admitted on top
+of the booted stack:
+
+* ``virtio`` tenants — L1 VMs with a paravirtual NIC (migration
+  capability attached, so they live-migrate);
+* ``vp`` tenants — **nested** (L2) VMs using DVH virtual-passthrough
+  (§3.6): the device is the host's, fully encapsulable, so the tenant
+  migrates even though it drives what looks like passthrough hardware;
+* ``passthrough`` tenants — nested VMs with a real SR-IOV VF assigned.
+  :func:`~repro.hv.passthrough.assign_physical_device` marks the whole
+  chain ``hardware_coupled``; migrating one raises
+  :class:`~repro.hv.passthrough.MigrationNotSupported`.  The asymmetry
+  is emergent, not special-cased here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.migration import add_migration_capability
+from repro.core.vpassthrough import assign_virtual_device
+from repro.hw.devices.virtio import VirtioDevice
+from repro.hw.machine import GB, Machine
+from repro.hw.mem import PAGE_SIZE
+from repro.hv.passthrough import assign_physical_device, dma_pool_pfns
+from repro.hv.stack import (
+    IO_VIRTIO,
+    StackConfig,
+    build_stack,
+)
+from repro.hv.virtio_backend import HostVhost
+from repro.core.vpassthrough import populate_chain_epts
+
+__all__ = ["TenantSpec", "Tenant", "ClusterHost"]
+
+#: Tenant network I/O models (cluster-level names).
+TENANT_VIRTIO = "virtio"
+TENANT_VP = "vp"
+TENANT_PASSTHROUGH = "passthrough"
+
+_TENANT_MODELS = (TENANT_VIRTIO, TENANT_VP, TENANT_PASSTHROUGH)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """What a tenant asks for."""
+
+    name: str
+    #: "virtio" (L1 VM), "vp" (nested VM, DVH virtual-passthrough) or
+    #: "passthrough" (nested VM, physical SR-IOV VF).
+    io_model: str = TENANT_VIRTIO
+    memory_gb: int = 12
+    #: Abstract steady-state CPU demand (cycles per scheduling quantum);
+    #: what the load-balance placement policy packs against.
+    load: int = 1_000
+    #: Pages the tenant's workload re-dirties per dirtying interval while
+    #: it runs (drives live-migration pre-copy rounds).
+    dirty_pages: int = 64
+
+    def __post_init__(self) -> None:
+        if self.io_model not in _TENANT_MODELS:
+            raise ValueError(
+                f"io_model must be one of {_TENANT_MODELS}, got "
+                f"{self.io_model!r}"
+            )
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+
+
+@dataclass
+class Tenant:
+    """A placed tenant: the spec plus the live objects backing it."""
+
+    spec: TenantSpec
+    host: str
+    vm: object
+    #: Virtual devices whose state travels through the PCI migration
+    #: capability on migration (empty for passthrough tenants — their VF
+    #: is hardware, there is nothing encapsulable to capture).
+    devices: List = field(default_factory=list)
+    #: How many times this tenant has been live-migrated.
+    migrations: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.spec.memory_gb * GB
+
+    def dirty_some_pages(self, round_idx: int) -> None:
+        """The tenant's workload touches memory: re-dirty a sliding
+        window of pages (feeds migration dirty logs)."""
+        pages = self.spec.dirty_pages
+        if pages <= 0:
+            return
+        span = max(pages * 4, 1)
+        start_page = (round_idx * pages) % span
+        self.vm.memory.write_range(start_page * PAGE_SIZE, pages * PAGE_SIZE)
+
+
+class ClusterHost:
+    """One server of the cluster, booted and accepting tenants."""
+
+    def __init__(
+        self,
+        name: str,
+        sim,
+        costs,
+        guest_hv: str = "kvm",
+        stack_levels: int = 2,
+        workers: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.machine = Machine(sim=sim, costs=costs)
+        self.guest_hv = guest_hv
+        self.seed = seed
+        config = StackConfig(
+            levels=stack_levels,
+            io_model=IO_VIRTIO,
+            guest_hv=guest_hv,
+            workers=workers,
+            flow=f"{name}-sys",
+            seed=seed,
+        )
+        #: The host's booted system stack: L0, the L1 guest hypervisor,
+        #: and the management VMs — the platform tenants land on.
+        self.stack = build_stack(config, machine=self.machine)
+        self.tenants: Dict[str, Tenant] = {}
+        #: Fabric port, set by the cluster when it attaches this host.
+        self.port = None
+        #: pCPUs the system stack claimed; tenants share the worker pool
+        #: (vCPU overcommit, like a real cloud host).
+        self._workers = workers
+
+    # ------------------------------------------------------------------
+    # Capacity accounting (what placement policies read)
+    # ------------------------------------------------------------------
+    @property
+    def l0(self):
+        return self.machine.host_hv
+
+    @property
+    def guest_hypervisor(self):
+        """The L1 guest hypervisor (None on a 1-level host)."""
+        return self.stack.hvs[1] if len(self.stack.hvs) > 1 else None
+
+    @property
+    def mem_total(self) -> int:
+        return self.machine.memory.size_bytes
+
+    @property
+    def mem_committed(self) -> int:
+        return sum(t.memory_bytes for t in self.tenants.values())
+
+    @property
+    def mem_free(self) -> int:
+        return self.mem_total - self.mem_committed
+
+    @property
+    def cycle_load(self) -> int:
+        """Committed steady-state CPU demand across tenants."""
+        return sum(t.spec.load for t in self.tenants.values())
+
+    def fits(self, spec: TenantSpec) -> bool:
+        return spec.memory_gb * GB <= self.mem_free
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle
+    # ------------------------------------------------------------------
+    def admit(self, spec: TenantSpec) -> Tenant:
+        """Create the tenant's VM (and device plumbing) on this host."""
+        if spec.name in self.tenants:
+            raise ValueError(f"{spec.name} already on {self.name}")
+        if not self.fits(spec):
+            raise ValueError(
+                f"{self.name}: {spec.name} needs {spec.memory_gb} GB, "
+                f"only {self.mem_free // GB} GB free"
+            )
+        if spec.io_model == TENANT_VIRTIO:
+            tenant = self._admit_virtio(spec)
+        elif spec.io_model == TENANT_VP:
+            tenant = self._admit_vp(spec)
+        else:
+            tenant = self._admit_passthrough(spec)
+        self.tenants[spec.name] = tenant
+        return tenant
+
+    def _vm_name(self, spec: TenantSpec) -> str:
+        return f"{self.name}/{spec.name}"
+
+    def _admit_virtio(self, spec: TenantSpec) -> Tenant:
+        """L1 VM with a host-provided paravirtual NIC."""
+        vm = self.l0.create_vm(self._vm_name(spec), spec.memory_gb * GB)
+        vm.add_vcpu(self.machine.cpus[0], None)
+        dev = VirtioDevice(
+            f"{self._vm_name(spec)}-net",
+            kind="net",
+            num_queues=2,
+            provider_level=0,
+        )
+        vm.bus.plug(dev)
+        add_migration_capability(dev)
+        HostVhost(self.l0, dev, user_vm=vm, flow=self._vm_name(spec)).start()
+        return Tenant(spec=spec, host=self.name, vm=vm, devices=[dev])
+
+    def _nested_vm(self, spec: TenantSpec):
+        """A nested (L2) VM under the host's guest hypervisor, its vCPU
+        chained through an L1 system-stack vCPU on the same pCPU."""
+        ghv = self.guest_hypervisor
+        if ghv is None:
+            raise ValueError(
+                f"{self.name}: nested tenants need a >=2-level host stack"
+            )
+        vm = ghv.create_vm(self._vm_name(spec), spec.memory_gb * GB)
+        parent = self.stack.vms[0].vcpus[len(self.tenants) % self._workers]
+        vm.add_vcpu(parent.pcpu, parent)
+        return vm
+
+    def _admit_vp(self, spec: TenantSpec) -> Tenant:
+        """Nested VM driving an L0 device via DVH virtual-passthrough."""
+        vm = self._nested_vm(spec)
+        dev = VirtioDevice(
+            f"{self._vm_name(spec)}-net-vp",
+            kind="net",
+            num_queues=2,
+            provider_level=0,
+        )
+        vm.bus.plug(dev)
+        add_migration_capability(dev)
+        assignment = assign_virtual_device(self.machine, dev, vm)
+        HostVhost(
+            self.l0,
+            dev,
+            user_vm=vm,
+            flow=self._vm_name(spec),
+            translate=assignment.translate,
+        ).start()
+        return Tenant(spec=spec, host=self.name, vm=vm, devices=[dev])
+
+    def _admit_passthrough(self, spec: TenantSpec) -> Tenant:
+        """Nested VM with a real SR-IOV VF — fast, but hardware-coupled."""
+        vm = self._nested_vm(spec)
+        vf = self.machine.nic.create_vf()
+        pfns = dma_pool_pfns()
+        populate_chain_epts(vm, pfns)
+        self.machine.bus.plug(vf)
+        assign_physical_device(self.machine, vf, vm, pfns)
+        return Tenant(spec=spec, host=self.name, vm=vm, devices=[])
+
+    def evict(self, name: str) -> Tenant:
+        """Remove a tenant from this host's books (its source-side VM
+        stops being charged against capacity; the sim objects go idle).
+        The NIC flow is unregistered so stray packets drop, like a real
+        host tearing down a tap device."""
+        tenant = self.tenants.pop(name)
+        self.machine.nic.unregister_flow(self._vm_name(tenant.spec))
+        return tenant
+
+    def adopt(self, tenant: Tenant) -> Tenant:
+        """Re-home a migrated-in tenant: rebuild its VM and device
+        plumbing on this host's stack (the destination side of a live
+        migration) and account for its memory."""
+        if not self.fits(tenant.spec):
+            raise ValueError(
+                f"{self.name}: cannot adopt {tenant.name}, "
+                f"{self.mem_free // GB} GB free"
+            )
+        fresh = self.admit(tenant.spec)
+        fresh.migrations = tenant.migrations + 1
+        return fresh
+
+    def describe(self) -> str:
+        names = ",".join(sorted(self.tenants)) or "-"
+        return (
+            f"{self.name}: {len(self.tenants)} tenants "
+            f"[{names}] mem {self.mem_committed // GB}/"
+            f"{self.mem_total // GB} GB load {self.cycle_load}"
+        )

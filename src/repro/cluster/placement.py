@@ -1,0 +1,94 @@
+"""Pluggable tenant-placement policies.
+
+A policy picks the host a new tenant lands on.  All policies are pure
+functions of the cluster's current bookkeeping (no randomness) with
+deterministic name-ordered tie-breaks, so placement is reproducible from
+the admission sequence alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.cluster.host import ClusterHost, TenantSpec
+
+__all__ = [
+    "PlacementError",
+    "PlacementPolicy",
+    "BinPackPolicy",
+    "SpreadPolicy",
+    "LoadBalancePolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+
+class PlacementError(RuntimeError):
+    """No host can take the tenant."""
+
+
+class PlacementPolicy:
+    """Base class: rank the feasible hosts, pick the best."""
+
+    #: Registry key (subclasses set it).
+    name = "base"
+
+    def choose(
+        self, hosts: Sequence[ClusterHost], spec: TenantSpec
+    ) -> ClusterHost:
+        feasible = [h for h in hosts if h.fits(spec)]
+        if not feasible:
+            raise PlacementError(
+                f"no host fits {spec.name} ({spec.memory_gb} GB)"
+            )
+        # Sort key first, host name second: ties always break the same
+        # way regardless of dict/list ordering upstream.
+        return min(feasible, key=lambda h: (self.key(h, spec), h.name))
+
+    def key(self, host: ClusterHost, spec: TenantSpec):
+        raise NotImplementedError
+
+
+class BinPackPolicy(PlacementPolicy):
+    """Fill the fullest feasible host first (consolidation: frees whole
+    hosts for power-down or maintenance)."""
+
+    name = "bin-pack"
+
+    def key(self, host: ClusterHost, spec: TenantSpec):
+        return -host.mem_committed
+
+
+class SpreadPolicy(PlacementPolicy):
+    """Fewest tenants first (blast-radius control: a host loss takes out
+    as few tenants as possible)."""
+
+    name = "spread"
+
+    def key(self, host: ClusterHost, spec: TenantSpec):
+        return len(host.tenants)
+
+
+class LoadBalancePolicy(PlacementPolicy):
+    """Lowest committed cycle load first (hot-spot avoidance)."""
+
+    name = "load-balance"
+
+    def key(self, host: ClusterHost, spec: TenantSpec):
+        return host.cycle_load
+
+
+POLICIES: Dict[str, Type[PlacementPolicy]] = {
+    cls.name: cls
+    for cls in (BinPackPolicy, SpreadPolicy, LoadBalancePolicy)
+}
+
+
+def make_policy(name: str) -> PlacementPolicy:
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r}; "
+            f"choose from {sorted(POLICIES)}"
+        )

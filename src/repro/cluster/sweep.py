@@ -1,0 +1,146 @@
+"""Cluster experiment cells: demo scenarios and policy sweeps.
+
+The cell workers live at module level so they pickle under the spawn
+start method, exactly like :mod:`repro.bench.parallel`'s Table-3 cells:
+``python -m repro cluster sweep --jobs N`` fans cells out to worker
+processes and produces byte-identical output to a serial run, because
+every cell is a pure function of ``(policy, hosts, tenants, seed)`` and
+results are assembled in task order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.parallel import map_cells
+
+__all__ = [
+    "standard_tenants",
+    "run_demo",
+    "cluster_cell",
+    "run_sweep",
+    "SWEEP_POLICIES",
+    "SWEEP_HOST_COUNTS",
+]
+
+SWEEP_POLICIES: Tuple[str, ...] = ("bin-pack", "spread", "load-balance")
+SWEEP_HOST_COUNTS: Tuple[int, ...] = (2, 4)
+
+#: Tenant I/O-model mix for generated fleets: mostly paravirtual, a DVH
+#: virtual-passthrough nested VM and a hardware-coupled straggler.
+_MIX: Tuple[str, ...] = ("virtio", "vp", "virtio", "passthrough")
+
+
+def standard_tenants(count: int) -> List:
+    """A deterministic tenant fleet of ``count`` mixed-I/O tenants."""
+    from repro.cluster import TenantSpec
+
+    specs = []
+    for i in range(count):
+        io_model = _MIX[i % len(_MIX)]
+        specs.append(
+            TenantSpec(
+                name=f"t{i}",
+                io_model=io_model,
+                memory_gb=8 + 4 * (i % 3),
+                load=800 + 350 * (i % 5),
+                dirty_pages=32 + 16 * (i % 3),
+            )
+        )
+    return specs
+
+
+def run_demo(
+    seed: int = 0,
+    num_hosts: int = 4,
+    num_tenants: int = 6,
+    policy: str = "bin-pack",
+    fault_plan=None,
+) -> Dict:
+    """The canonical cluster scenario: boot, place a mixed fleet, run a
+    cross-host stream, then evacuate host0 — the DVH tenants move, the
+    hardware-coupled ones stay.  Returns the cluster summary dict."""
+    from repro.core.migration import MigrationError, MigrationNotSupported
+    from repro.cluster import Cluster
+
+    cluster = Cluster(
+        num_hosts=num_hosts, seed=seed, policy=policy, fault_plan=fault_plan
+    )
+    for spec in standard_tenants(num_tenants):
+        cluster.place(spec)
+    if num_hosts >= 2:
+        cluster.stream("host1", f"host{num_hosts - 1}", 8 << 20)
+        try:
+            cluster.orchestrator.evacuate("host0")
+        except (MigrationError, MigrationNotSupported):
+            pass  # recorded in the trace; the demo reports what happened
+        cluster.sim.run()
+    summary = cluster.summary()
+    summary["trace"] = cluster.events
+    return summary
+
+
+def cluster_cell(task: Tuple[str, int, int, int]) -> Dict:
+    """One sweep cell: (policy, hosts, tenants, seed) -> placement and
+    migration figures.  Pure; safe to run in a worker process."""
+    policy, num_hosts, num_tenants, seed = task
+    from repro.core.migration import MigrationError, MigrationNotSupported
+    from repro.cluster import Cluster
+
+    cluster = Cluster(num_hosts=num_hosts, seed=seed, policy=policy)
+    for spec in standard_tenants(num_tenants):
+        cluster.place(spec)
+
+    # Migrate the first migratable tenant to the emptiest other host.
+    migrated: Optional[Dict] = None
+    for name, tenant in sorted(cluster.tenants().items()):
+        if tenant.spec.io_model == "passthrough":
+            continue
+        src = cluster.host_of(name)
+        others = [h for h in cluster.hosts if h.name != src.name]
+        if not others:
+            break
+        dst = min(others, key=lambda h: (h.mem_committed, h.name))
+        try:
+            record = cluster.migrate(name, dst.name)
+        except (MigrationError, MigrationNotSupported):
+            break
+        migrated = {
+            "tenant": name,
+            "downtime_ms": round(record.result.downtime_s * 1e3, 3),
+            "rounds": record.result.rounds,
+            "bytes": record.result.bytes_transferred,
+        }
+        break
+
+    spread = sorted(len(h.tenants) for h in cluster.hosts)
+    return {
+        "policy": policy,
+        "hosts": num_hosts,
+        "tenants": num_tenants,
+        "tenants_per_host": spread,
+        "max_load": max(h.cycle_load for h in cluster.hosts),
+        "migration": migrated,
+        "fabric_migration_bytes": cluster.fabric.metrics.cross_host_bytes(
+            "migration"
+        ),
+        "digest": cluster.digest(),
+    }
+
+
+def run_sweep(
+    seed: int = 0,
+    policies: Sequence[str] = SWEEP_POLICIES,
+    host_counts: Sequence[int] = SWEEP_HOST_COUNTS,
+    num_tenants: int = 6,
+    jobs: Optional[int] = None,
+) -> List[Dict]:
+    """Sweep placement policies across cluster sizes.  ``jobs`` fans the
+    independent cells out to processes; output order (and bytes) never
+    depends on it."""
+    tasks = [
+        (policy, hosts, num_tenants, seed)
+        for policy in policies
+        for hosts in host_counts
+    ]
+    return map_cells(cluster_cell, tasks, jobs)

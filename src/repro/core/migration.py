@@ -149,10 +149,20 @@ class LiveMigration:
         downtime_limit_s: Optional[float] = None,
         max_retries: int = 5,
         retry_backoff_cycles: int = 200_000,
+        channel=None,
     ) -> None:
         self.machine = machine
         self.vm = vm
         self.devices = devices or []
+        #: Optional transport the pre-copy bytes actually travel over
+        #: (duck-typed: ``transfer(nbytes) -> Generator`` plus a
+        #: ``transfer_cycles(nbytes)`` estimator and a ``retries``
+        #: counter).  The cluster fabric channel
+        #: (:class:`repro.cluster.orchestrator.FabricChannel`) plugs in
+        #: here so cross-host dirty-page traffic consumes real simulated
+        #: link bandwidth; when None the flat ``bandwidth_bps`` wire is
+        #: used, exactly as before.
+        self.channel = channel
         self.bandwidth_bps = (
             bandwidth_bps if bandwidth_bps is not None else machine.costs.migration_bps
         )
@@ -169,6 +179,8 @@ class LiveMigration:
 
     # ------------------------------------------------------------------
     def _transfer_cycles(self, nbytes: int) -> int:
+        if self.channel is not None:
+            return self.channel.transfer_cycles(nbytes)
         sim = self.machine.sim
         return max(1, sim.cycles(nbytes * 8 / self.bandwidth_bps))
 
@@ -181,6 +193,11 @@ class LiveMigration:
         is a counted recovery; exhausting the budget raises
         :class:`MigrationError` (the round stays resumable: dirty state
         survives in the logs)."""
+        if self.channel is not None:
+            # The channel owns its transport faults (fabric partitions,
+            # bandwidth collapse) and its own retry/backoff budget.
+            yield from self.channel.transfer(nbytes)
+            return
         faults = getattr(self.machine, "faults", None)
         if faults is None:
             yield self._transfer_cycles(nbytes)
@@ -325,5 +342,7 @@ class LiveMigration:
             bytes_transferred=total_bytes,
             device_state_bytes=device_state,
             dvh_state_saved=dvh_state_saved,
-            retries=self.retries,
+            retries=self.retries + (
+                getattr(self.channel, "retries", 0) if self.channel else 0
+            ),
         )

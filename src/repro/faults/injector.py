@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from typing import List
+from typing import List, Optional
 
 from repro.core.features import fallback_io_model, negotiate
 from repro.faults.plan import FaultClass, FaultPlan, FaultSpec
@@ -104,12 +104,17 @@ class FaultInjector:
         plan = self.plan
         if plan.is_empty:
             return self
-        if plan.spec_for(FaultClass.NIC_DROP) or plan.spec_for(
-            FaultClass.NIC_CORRUPT
+        # The "machine" may also be a cluster Fabric (it quacks enough:
+        # sim + metrics); hardware hooks then simply have nowhere to go.
+        nic = getattr(self.machine, "nic", None)
+        if nic is not None and (
+            plan.spec_for(FaultClass.NIC_DROP)
+            or plan.spec_for(FaultClass.NIC_CORRUPT)
         ):
-            self.machine.nic.fault_hook = self._nic_hook
-        if plan.spec_for(FaultClass.IOMMU_FAULT):
-            self.machine.iommu.fault_hook = self._iommu_hook
+            nic.fault_hook = self._nic_hook
+        iommu = getattr(self.machine, "iommu", None)
+        if iommu is not None and plan.spec_for(FaultClass.IOMMU_FAULT):
+            iommu.fault_hook = self._iommu_hook
         if stack is not None:
             if plan.spec_for(FaultClass.VIRTIO_KICK_DROP):
                 self._hook_kicks(stack)
@@ -281,6 +286,38 @@ class FaultInjector:
             return 0.0
         self._record(FaultClass.MIG_LOSS)
         return spec.param if spec.param is not None else 0.05
+
+    # ------------------------------------------------------------------
+    # Fabric consultation (duck-typed by repro.cluster.fabric.Fabric).
+    # A cluster attaches one injector to the Fabric itself — it exposes
+    # ``sim`` and ``metrics`` like a Machine, so the same injector class
+    # covers both scopes.  ``spec.mechanisms`` names the targeted hosts
+    # (empty tuple = the fault hits every host).
+    # ------------------------------------------------------------------
+    def _fabric_window_active(self, kind: str, host: Optional[str]) -> bool:
+        spec = self.plan.spec_for(kind)
+        if spec is None or not spec.active(self.machine.sim.now):
+            return False
+        if spec.mechanisms and host is not None and host not in spec.mechanisms:
+            return False
+        self._record(kind)
+        return True
+
+    def fabric_link_down(self, host: Optional[str] = None) -> bool:
+        """Is ``host``'s ToR link inside a partition window right now?"""
+        return self._fabric_window_active(FaultClass.FABRIC_PARTITION, host)
+
+    def fabric_host_lost(self, host: Optional[str] = None) -> bool:
+        """Has ``host`` dropped off the fabric entirely?"""
+        return self._fabric_window_active(FaultClass.FABRIC_HOST_LOSS, host)
+
+    def fabric_bandwidth_factor(self) -> float:
+        """Fraction of nominal link bandwidth currently available."""
+        spec = self.plan.spec_for(FaultClass.FABRIC_DEGRADE)
+        if spec is None or not spec.active(self.machine.sim.now):
+            return 1.0
+        self._record(FaultClass.FABRIC_DEGRADE)
+        return spec.param if spec.param is not None else 0.25
 
     # ------------------------------------------------------------------
     def summary(self) -> Counter:

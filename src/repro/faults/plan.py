@@ -47,6 +47,15 @@ class FaultClass:
     MIG_LOSS = "mig_loss"
     #: DVH capability bits read as unavailable during negotiation.
     DVH_CAP_FAULT = "dvh_cap_fault"
+    #: Datacenter fabric: a host's ToR link is partitioned for a window
+    #: of simulated time (see repro.cluster.fabric).
+    FABRIC_PARTITION = "fabric_partition"
+    #: Datacenter fabric: a whole host drops off the fabric (power/kernel
+    #: loss); traffic to or from it is undeliverable while active.
+    FABRIC_HOST_LOSS = "fabric_host_loss"
+    #: Datacenter fabric: links run at a fraction of nominal bandwidth
+    #: (incast congestion, a flapping optic renegotiating rates).
+    FABRIC_DEGRADE = "fabric_degrade"
 
     ALL: Tuple[str, ...] = (
         NIC_DROP,
@@ -60,6 +69,9 @@ class FaultClass:
         MIG_LINK_FLAP,
         MIG_LOSS,
         DVH_CAP_FAULT,
+        FABRIC_PARTITION,
+        FABRIC_HOST_LOSS,
+        FABRIC_DEGRADE,
     )
 
     #: Classes expressed as a per-opportunity probability (hook faults).
@@ -74,6 +86,9 @@ class FaultClass:
     SCHEDULED: Tuple[str, ...] = (IRQ_SPURIOUS, VIRTIO_MALFORMED)
     #: Classes consulted lazily by the migration wire.
     MIGRATION: Tuple[str, ...] = (MIG_BANDWIDTH, MIG_LINK_FLAP, MIG_LOSS)
+    #: Classes consulted lazily by the cluster fabric (the injector is
+    #: attached to the Fabric, not to a host machine).
+    FABRIC: Tuple[str, ...] = (FABRIC_PARTITION, FABRIC_HOST_LOSS, FABRIC_DEGRADE)
 
 
 @dataclass(frozen=True)
@@ -85,8 +100,10 @@ class FaultSpec:
     point injections for :attr:`FaultClass.SCHEDULED` classes; ``param``
     carries the class-specific magnitude (bandwidth factor for
     ``mig_bandwidth``, loss fraction for ``mig_loss``, flap length in
-    cycles for ``mig_link_flap``); ``mechanisms`` names the DVH
-    capability bits a ``dvh_cap_fault`` knocks out.
+    cycles for ``mig_link_flap``, bandwidth factor for
+    ``fabric_degrade``); ``mechanisms`` names the DVH capability bits a
+    ``dvh_cap_fault`` knocks out — or, for the fabric classes, the host
+    names a partition/loss targets (empty = every host).
     """
 
     kind: str
@@ -166,7 +183,8 @@ class FaultPlan:
                 specs.append(FaultSpec(kind=kind, param=rng.uniform(0.25, 0.9)))
             elif kind == FaultClass.MIG_LOSS:
                 specs.append(FaultSpec(kind=kind, param=rng.uniform(0.01, 0.2)))
-            elif kind == FaultClass.MIG_LINK_FLAP:
+            elif kind in (FaultClass.MIG_LINK_FLAP, FaultClass.FABRIC_PARTITION,
+                          FaultClass.FABRIC_HOST_LOSS):
                 start = rng.randrange(horizon // 2)
                 specs.append(
                     FaultSpec(
@@ -175,6 +193,8 @@ class FaultPlan:
                         end=start + rng.randrange(100_000, 2_000_000),
                     )
                 )
+            elif kind == FaultClass.FABRIC_DEGRADE:
+                specs.append(FaultSpec(kind=kind, param=rng.uniform(0.05, 0.5)))
             else:  # DVH_CAP_FAULT
                 from repro.core.features import DVH_MECHANISMS
 

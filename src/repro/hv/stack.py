@@ -141,16 +141,24 @@ class Stack:
         self.sim.run()
 
 
-def build_stack(config: StackConfig) -> Stack:
+def build_stack(config: StackConfig, machine: Machine = None) -> Stack:
     """Build the whole configuration: machine, hypervisors, VMs, devices,
-    backends, and DVH feature enablement."""
-    config.validate()
-    if config.arch == "arm":
-        from repro.sim.costs import arm_costs
+    backends, and DVH feature enablement.
 
-        machine = Machine(seed=config.seed, costs=arm_costs())
-    else:
-        machine = Machine(seed=config.seed)
+    ``machine`` lets a caller supply a pre-built :class:`Machine` — the
+    cluster layer (:mod:`repro.cluster`) uses this to boot several hosts
+    on one shared simulator so the whole datacenter marches on a single
+    deterministic clock.  When omitted, a fresh machine (and simulator)
+    is created from the config, exactly as before.
+    """
+    config.validate()
+    if machine is None:
+        if config.arch == "arm":
+            from repro.sim.costs import arm_costs
+
+            machine = Machine(seed=config.seed, costs=arm_costs())
+        else:
+            machine = Machine(seed=config.seed)
     stack = Stack(config, machine)
     if config.levels == 0:
         return _build_native(stack)

@@ -57,17 +57,23 @@ class Wire:
         ``wire_size`` (default ``packet.size``) is the on-wire byte count
         including protocol headers."""
         direction = "in" if packet.inbound else "out"
-        serialization = int(
-            (wire_size if wire_size is not None else packet.size)
-            * 8 / self.bps * self.sim.freq_hz
-        )
+        on_wire = wire_size if wire_size is not None else packet.size
+        serialization = int(on_wire * 8 / self.bps * self.sim.freq_hz)
         start = max(self.sim.now, self._busy_until[direction])
         done = start + serialization
         self._busy_until[direction] = done
-        self.bytes_carried[direction] += packet.size
+        # Meter what actually occupied the wire (protocol headers
+        # included), not the goodput — metering goodput here made the
+        # carried-bytes counter drift below the time the wire was busy.
+        self.bytes_carried[direction] += on_wire
         arrival = done + self.latency
         self.sim.call_at(arrival, lambda: deliver(packet))
         return arrival
+
+    def busy_until(self, inbound: bool) -> int:
+        """When the given direction's current backlog finishes
+        serializing (<= now means the direction is idle)."""
+        return self._busy_until["in" if inbound else "out"]
 
 
 class PhysicalNic(PciDevice):
@@ -193,6 +199,11 @@ class RemoteClient:
         """Register the client-side handler for server->client packets."""
         self._handlers[flow] = handler
 
+    def off_receive(self, flow: str) -> None:
+        """Drop the handler for ``flow``; later packets are discarded
+        (the client closed its socket)."""
+        self._handlers.pop(flow, None)
+
     def receive(self, packet: Packet) -> None:
         """A server->client packet arrived at the client NIC."""
         handler = self._handlers.get(packet.flow)
@@ -216,6 +227,20 @@ class RemoteClient:
         self.wire.transmit(pkt, self.nic.rx, wire_size=wire_size)
 
     def send_after(
-        self, delay: int, flow: str, size: int, payload: Any = None, queue_hint: int = 0
+        self,
+        delay: int,
+        flow: str,
+        size: int,
+        payload: Any = None,
+        queue_hint: int = 0,
+        wire_size: Optional[int] = None,
     ) -> None:
-        self.sim.call_after(delay, lambda: self.send(flow, size, payload, queue_hint))
+        """Like :meth:`send`, ``delay`` cycles from now.  ``wire_size``
+        is forwarded — dropping it silently under-serialized deferred
+        sends relative to immediate ones."""
+        self.sim.call_after(
+            delay,
+            lambda: self.send(
+                flow, size, payload, queue_hint, wire_size=wire_size
+            ),
+        )

@@ -11,7 +11,7 @@ breakdowns.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict
+from typing import Dict, Optional
 
 __all__ = ["Metrics"]
 
@@ -33,6 +33,7 @@ class Metrics:
         "events",
         "faults",
         "recoveries",
+        "cross_host",
     )
 
     def __init__(self) -> None:
@@ -58,6 +59,9 @@ class Metrics:
         #: recovery kind -> successful recoveries (migration retries,
         #: virtio requeues, malformed-descriptor drops, DVH fallbacks...).
         self.recoveries: Counter = Counter()
+        #: (src_host, dst_host, kind) -> bytes carried over the datacenter
+        #: fabric (see repro.cluster.fabric); empty on single-machine runs.
+        self.cross_host: Counter = Counter()
 
     # ------------------------------------------------------------------
     # Recording
@@ -92,6 +96,13 @@ class Metrics:
         """A successful recovery action of class ``kind``."""
         self.recoveries[kind] += n
 
+    def record_cross_host(
+        self, src: str, dst: str, kind: str, nbytes: int
+    ) -> None:
+        """``nbytes`` of ``kind`` traffic carried src -> dst over the
+        cluster fabric (kind is "migration", "net", or "control")."""
+        self.cross_host[(src, dst, kind)] += nbytes
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -117,6 +128,14 @@ class Metrics:
 
     def total_faults(self) -> int:
         return sum(self.faults.values())
+
+    def cross_host_bytes(self, kind: Optional[str] = None) -> int:
+        """Bytes carried over the fabric, optionally for one traffic kind."""
+        return sum(
+            n
+            for (_s, _d, k), n in self.cross_host.items()
+            if kind is None or k == kind
+        )
 
     def total_recoveries(self) -> int:
         return sum(self.recoveries.values())

@@ -181,6 +181,18 @@ class CostModel:
     migration_bps: float = 268_000_000.0
 
     # ------------------------------------------------------------------
+    # Datacenter fabric (repro.cluster)
+    # ------------------------------------------------------------------
+    #: Per-host link rate to the top-of-rack switch, in bits per second
+    #: (40 GbE host uplinks; the 10 Gb X520 ports face the clients).
+    fabric_bps: float = 40_000_000_000.0
+    #: One-way host<->ToR latency in cycles (cable + switch port,
+    #: ~0.6 us at 2.2 GHz).
+    fabric_latency: int = 1_300
+    #: Store-and-forward latency through the switching core, in cycles.
+    fabric_switch_latency: int = 700
+
+    # ------------------------------------------------------------------
     # Derived helpers
     # ------------------------------------------------------------------
     def l0_roundtrip(self, handler: int = 0) -> int:

@@ -1,0 +1,172 @@
+"""Fabric: topology, serialization, metering, fault windows."""
+
+import pytest
+
+from repro.cluster.fabric import Fabric, FabricFrame, UndeliverableError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultClass, FaultPlan, FaultSpec
+from repro.sim import Simulator, default_costs
+
+
+def make_fabric(num_hosts=2, seed=0):
+    sim = Simulator(seed=seed)
+    fabric = Fabric(sim, default_costs())
+    for i in range(num_hosts):
+        fabric.attach(f"host{i}")
+    return sim, fabric
+
+
+def test_attach_rejects_duplicates_and_unknown_port():
+    _sim, fabric = make_fabric()
+    with pytest.raises(ValueError):
+        fabric.attach("host0")
+    with pytest.raises(UndeliverableError):
+        fabric.port("nope")
+
+
+def test_send_delivers_and_meters_cross_host_bytes():
+    sim, fabric = make_fabric()
+    got = []
+    fabric.port("host1").receiver = got.append
+    fabric.send(
+        FabricFrame(src="host0", dst="host1", kind="net", size=1 << 20)
+    )
+    sim.run()
+    assert [f.size for f in got] == [1 << 20]
+    assert fabric.metrics.cross_host[("host0", "host1", "net")] == 1 << 20
+    assert fabric.metrics.cross_host_bytes("net") == 1 << 20
+    assert fabric.metrics.cross_host_bytes("migration") == 0
+    assert fabric.port("host0").frames["tx"] == 1
+    assert fabric.port("host1").frames["rx"] == 1
+
+
+def test_delivery_takes_two_serializations_plus_latencies():
+    sim, fabric = make_fabric()
+    size = 1 << 20
+    done = []
+    fabric.port("host1").receiver = lambda f: done.append(sim.now)
+    fabric.send(FabricFrame(src="host0", dst="host1", kind="net", size=size))
+    sim.run()
+    assert done == [fabric.frame_cycles(size)]
+
+
+def test_uplink_contention_queues_frames():
+    """Two frames out of the same host serialize back to back on the
+    shared uplink: the second arrives one serialization later."""
+    sim, fabric = make_fabric()
+    size = 1 << 20
+    arrivals = []
+    fabric.port("host1").receiver = lambda f: arrivals.append(sim.now)
+    for _ in range(2):
+        fabric.send(
+            FabricFrame(src="host0", dst="host1", kind="net", size=size)
+        )
+    sim.run()
+    serialization = int(size * 8 / fabric.costs.fabric_bps * sim.freq_hz)
+    assert arrivals[1] - arrivals[0] == serialization
+
+
+def test_transfer_blocks_until_delivery():
+    sim, fabric = make_fabric()
+
+    def proc():
+        result = yield from fabric.transfer(
+            "host0", "host1", 4096, kind="control"
+        )
+        return (sim.now, result.size)
+
+    when, size = sim.run_process(proc())
+    assert size == 4096
+    assert when == fabric.frame_cycles(4096)
+
+
+def _partition_plan(host, start=0, end=10**9):
+    return FaultPlan(
+        [
+            FaultSpec(
+                kind=FaultClass.FABRIC_PARTITION,
+                start=start,
+                end=end,
+                mechanisms=(host,),
+            )
+        ]
+    )
+
+
+def test_partition_blocks_targeted_host_only():
+    sim, fabric = make_fabric(num_hosts=3)
+    FaultInjector(fabric, _partition_plan("host1"), seed=1).attach()
+    assert fabric.link_blocked("host1")
+    assert not fabric.link_blocked("host2")
+    assert fabric.path_blocked("host0", "host1")
+    assert not fabric.path_blocked("host0", "host2")
+
+    def proc():
+        yield from fabric.transfer("host0", "host1", 4096, kind="net")
+
+    with pytest.raises(UndeliverableError):
+        sim.run_process(proc())
+
+
+def test_partition_window_expires():
+    sim, fabric = make_fabric()
+    FaultInjector(fabric, _partition_plan("host1", end=1000), seed=1).attach()
+    assert fabric.path_blocked("host0", "host1")
+    sim.run(until=2000)
+    assert not fabric.path_blocked("host0", "host1")
+
+
+def test_host_loss_mid_flight_triggers_notify_with_none():
+    """A frame already on the wire when its destination dies is counted
+    undeliverable and the blocking transfer raises."""
+    size = 1 << 20
+    sim, fabric = make_fabric()
+    # Lose host1 after the frame is launched but before it lands.
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind=FaultClass.FABRIC_HOST_LOSS,
+                start=100,
+                end=10**9,
+                mechanisms=("host1",),
+            )
+        ]
+    )
+    FaultInjector(fabric, plan, seed=1).attach()
+
+    def proc():
+        yield from fabric.transfer("host0", "host1", size, kind="migration")
+
+    with pytest.raises(UndeliverableError, match="lost in flight"):
+        sim.run_process(proc())
+    assert fabric.undeliverable == 1
+    assert fabric.metrics.cross_host_bytes() == 0
+
+
+def test_degrade_stretches_serialization():
+    sim1, fabric1 = make_fabric()
+    arrivals1 = []
+    fabric1.port("host1").receiver = lambda f: arrivals1.append(sim1.now)
+    fabric1.send(FabricFrame(src="host0", dst="host1", kind="net", size=1 << 20))
+    sim1.run()
+
+    sim2, fabric2 = make_fabric()
+    plan = FaultPlan([FaultSpec(kind=FaultClass.FABRIC_DEGRADE, param=0.25)])
+    FaultInjector(fabric2, plan, seed=1).attach()
+    assert fabric2.bandwidth_factor() == 0.25
+    arrivals2 = []
+    fabric2.port("host1").receiver = lambda f: arrivals2.append(sim2.now)
+    fabric2.send(FabricFrame(src="host0", dst="host1", kind="net", size=1 << 20))
+    sim2.run()
+    # 4x less bandwidth ~= 4x the serialization (latency terms equal).
+    assert arrivals2[0] > 3 * arrivals1[0]
+    # Goodput metering is unchanged: the tenant still got its bytes.
+    assert fabric2.metrics.cross_host_bytes("net") == 1 << 20
+
+
+def test_fabric_injector_records_fault_metrics():
+    sim, fabric = make_fabric()
+    injector = FaultInjector(fabric, _partition_plan("host0"), seed=3).attach()
+    assert fabric.link_blocked("host0")
+    assert injector.injected[FaultClass.FABRIC_PARTITION] == 1
+    assert fabric.metrics.faults[FaultClass.FABRIC_PARTITION] == 1

@@ -1,0 +1,77 @@
+"""Placement policies and host capacity accounting."""
+
+import pytest
+
+from repro.cluster import Cluster, PlacementError, TenantSpec, make_policy
+from repro.cluster.placement import POLICIES
+from repro.hw.machine import GB
+
+
+def test_policy_registry_and_unknown_name():
+    assert set(POLICIES) == {"bin-pack", "spread", "load-balance"}
+    with pytest.raises(ValueError, match="unknown placement policy"):
+        make_policy("round-robin")
+
+
+def test_spread_places_on_emptiest_host():
+    cluster = Cluster(num_hosts=3, seed=0, policy="spread")
+    for i in range(6):
+        cluster.place(TenantSpec(name=f"t{i}", memory_gb=4))
+    assert [len(h.tenants) for h in cluster.hosts] == [2, 2, 2]
+
+
+def test_bin_pack_fills_one_host_first():
+    cluster = Cluster(num_hosts=3, seed=0, policy="bin-pack")
+    for i in range(4):
+        cluster.place(TenantSpec(name=f"t{i}", memory_gb=4))
+    counts = sorted(len(h.tenants) for h in cluster.hosts)
+    assert counts == [0, 0, 4]
+
+
+def test_bin_pack_spills_when_full():
+    cluster = Cluster(num_hosts=2, seed=0, policy="bin-pack")
+    # Host RAM is 192 GB; two 100 GB tenants cannot share one host.
+    cluster.place(TenantSpec(name="big0", memory_gb=100))
+    cluster.place(TenantSpec(name="big1", memory_gb=100))
+    assert cluster.host_of("big0").name != cluster.host_of("big1").name
+
+
+def test_load_balance_levels_cycle_load():
+    cluster = Cluster(num_hosts=2, seed=0, policy="load-balance")
+    cluster.place(TenantSpec(name="hot", memory_gb=4, load=10_000))
+    cluster.place(TenantSpec(name="cold1", memory_gb=4, load=100))
+    cluster.place(TenantSpec(name="cold2", memory_gb=4, load=100))
+    hot_host = cluster.host_of("hot")
+    assert cluster.host_of("cold1").name != hot_host.name
+    assert cluster.host_of("cold2").name != hot_host.name
+
+
+def test_placement_error_when_nothing_fits():
+    cluster = Cluster(num_hosts=2, seed=0)
+    with pytest.raises(PlacementError):
+        cluster.place(TenantSpec(name="huge", memory_gb=1000))
+
+
+def test_capacity_accounting_tracks_admit_and_evict():
+    cluster = Cluster(num_hosts=1, seed=0)
+    host = cluster.hosts[0]
+    free_before = host.mem_free
+    cluster.place(TenantSpec(name="a", memory_gb=8))
+    assert host.mem_committed == 8 * GB
+    assert host.mem_free == free_before - 8 * GB
+    host.evict("a")
+    assert host.mem_committed == 0
+    assert host.mem_free == free_before
+
+
+def test_ties_break_by_host_name():
+    cluster = Cluster(num_hosts=3, seed=0, policy="spread")
+    cluster.place(TenantSpec(name="first", memory_gb=4))
+    assert cluster.host_of("first").name == "host0"
+
+
+def test_tenant_spec_validation():
+    with pytest.raises(ValueError, match="io_model"):
+        TenantSpec(name="x", io_model="sr-iov")
+    with pytest.raises(ValueError, match="memory_gb"):
+        TenantSpec(name="x", memory_gb=0)

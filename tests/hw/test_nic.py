@@ -92,3 +92,76 @@ def test_remote_client_send():
     assert len(got) == 2
     assert got[0][0] >= 100  # wire latency applied
     assert got[1][0] >= 5100
+
+
+# ----------------------------------------------------------------------
+# RemoteClient: direct unit coverage (flow lifecycle, saturation, wire
+# accounting)
+# ----------------------------------------------------------------------
+def make_client(sim, bps=1_000_000_000.0, latency=100):
+    costs = default_costs()
+    wire = make_wire(sim, bps=bps, latency=latency)
+    nic = PhysicalNic("eth0", wire)
+    return RemoteClient(sim, wire, nic, costs), wire, nic
+
+
+def test_remote_client_receive_register_and_off():
+    sim = Simulator()
+    client, _wire, _nic = make_client(sim)
+    got = []
+    client.on_receive("rr", got.append)
+    pkt = Packet("rr", 64, inbound=False)
+    client.receive(pkt)
+    assert got == [pkt]
+    client.receive(Packet("other", 64, inbound=False))  # unknown flow dropped
+    assert len(got) == 1
+    client.off_receive("rr")
+    client.receive(Packet("rr", 64, inbound=False))  # socket closed
+    assert len(got) == 1
+    client.off_receive("rr")  # idempotent
+
+
+def test_remote_client_rx_under_saturated_wire():
+    """A burst larger than the wire can carry instantaneously must be
+    delivered completely, in order, at exactly line rate — no packet is
+    lost or reordered by queueing, and latency is per-packet on top of
+    the serialization backlog."""
+    sim = Simulator(freq_hz=1_000_000_000)  # 1 cycle = 1 ns
+    client, wire, nic = make_client(sim, bps=1_000_000_000.0, latency=500)
+    got = []
+    nic.register_flow("stream", lambda p: got.append((sim.now, p.payload)))
+    for i in range(10):
+        client.send("stream", 1000, payload=i)  # 8000 ns each at 1 Gb/s
+    sim.run()
+    assert [p for _, p in got] == list(range(10))  # in order, none lost
+    assert [t for t, _ in got] == [8000 * (i + 1) + 500 for i in range(10)]
+    # The backlog is visible while queued, drained afterwards.
+    assert wire.busy_until(inbound=True) == 80000
+    assert sim.now >= 80000
+
+
+def test_remote_client_send_after_forwards_wire_size():
+    """Deferred sends must serialize with their on-wire size, exactly
+    like immediate sends — wire_size used to be dropped on the floor."""
+    sim = Simulator(freq_hz=1_000_000_000)
+    client, wire, nic = make_client(sim, bps=1_000_000_000.0, latency=0)
+    got = []
+    nic.register_flow("f", lambda p: got.append(sim.now))
+    client.send_after(0, "f", 1000, wire_size=2000)
+    sim.run()
+    assert got == [16000]  # 2000 on-wire bytes, not 1000
+    assert wire.bytes_carried["in"] == 2000
+
+
+def test_wire_bytes_carried_meters_on_wire_size():
+    """bytes_carried counts what occupied the wire (headers included),
+    matching the time the direction was busy."""
+    sim = Simulator(freq_hz=1_000_000_000)
+    wire = make_wire(sim, bps=1_000_000_000.0, latency=0)
+    wire.transmit(Packet("f", 1000), lambda p: None, wire_size=1500)
+    wire.transmit(Packet("f", 1000, inbound=False), lambda p: None)
+    sim.run()
+    assert wire.bytes_carried["in"] == 1500  # on-wire, not goodput
+    assert wire.bytes_carried["out"] == 1000  # default: goodput == wire
+    assert wire.busy_until(inbound=True) == 12000
+    assert wire.busy_until(inbound=False) == 8000
