@@ -1,7 +1,7 @@
 # Convenience targets for the DVH reproduction.
 
 .PHONY: install test lint bench bench-perf bench-perf-check fuzz fuzz-smoke \
-	figures examples clean
+	audit audit-smoke figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -29,6 +29,16 @@ fuzz:
 
 fuzz-smoke:
 	PYTHONPATH=src python -m repro faults fuzz --episodes 25 --seed 1
+
+# Runtime invariant audit (see docs/faults.md): the migration/cluster
+# fault matrix plus a fuzz campaign with every lifecycle/conservation
+# check armed.  Wired into CI; reverting the migration-teardown fixes
+# turns it red.
+audit:
+	PYTHONPATH=src python -m repro audit --episodes 500 --seed 1
+
+audit-smoke:
+	PYTHONPATH=src python -m repro audit --episodes 25 --seed 1
 
 # Host-performance regression baselines (see docs/performance.md).
 bench-perf:

@@ -1,0 +1,165 @@
+"""Pure invariant checks over finished (or settled) runs.
+
+Every function here only *reads* state and returns a list of violation
+strings (empty = green), so the same checks serve three callers:
+
+* the :class:`~repro.audit.auditor.Auditor`'s finish pass,
+* the trap-chain fuzzer's per-episode invariants
+  (:func:`repro.faults.fuzz.check_invariants` folds
+  :func:`lifecycle_violations` in),
+* ad-hoc test assertions.
+
+This module must stay import-light: :mod:`repro.faults.fuzz` imports it,
+so importing anything from :mod:`repro.faults` here would cycle.  Fault
+classes are referenced by their literal string names instead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = [
+    "lifecycle_violations",
+    "fabric_conservation_violations",
+    "span_reconciliation_violations",
+    "orphaned_process_violations",
+]
+
+#: Fault classes that legitimately break fabric byte equalities (see
+#: :func:`fabric_conservation_violations`).  Literal strings — importing
+#: ``repro.faults.plan`` here would create an import cycle through the
+#: fuzzer.
+_FABRIC_DEGRADE = "fabric_degrade"
+_FABRIC_LOSSY = ("fabric_partition", "fabric_host_loss")
+
+#: Tolerance for float cycle accumulation in span reconciliation.
+_CYCLE_EPS = 1e-6
+
+
+def lifecycle_violations(stack) -> List[str]:
+    """Resource-lifecycle audit over one stack: after any quiesced run,
+    no VM may still have a dirty log attached, and no backend may be
+    left paused or still dirty-logging.  All three are migration-held
+    resources; finding one outside a live migration means an abort path
+    leaked it."""
+    out: List[str] = []
+    for vm in getattr(stack, "vms", []):
+        logs = getattr(vm.memory, "_dirty_logs", ())
+        if logs:
+            names = ", ".join(sorted(log.name for log in logs))
+            out.append(
+                f"lifecycle: {vm.name}: {len(logs)} dirty log(s) still "
+                f"attached ({names})"
+            )
+    for hv in getattr(stack, "hvs", []):
+        for device, backend in getattr(hv, "backends", {}).items():
+            if getattr(backend, "paused", False):
+                out.append(
+                    f"lifecycle: backend for {device.name} left paused"
+                )
+            if getattr(backend, "dirty_log", None) is not None:
+                out.append(
+                    f"lifecycle: {device.name} DMA dirty logging still enabled"
+                )
+    return out
+
+
+def fabric_conservation_violations(fabric) -> List[str]:
+    """Byte/frame conservation over one cluster fabric.
+
+    * frames: every transmitted frame is received or counted
+      undeliverable (``tx == rx + undeliverable`` once the clock has
+      drained; ``tx >= rx + undeliverable`` while frames are in flight);
+    * wire bytes: every frame serializes once on the source uplink
+      ("out") and once on the destination downlink ("in"), so the two
+      totals match when drained;
+    * metering: the ``cross_host`` table counts delivered payload bytes,
+      which can never exceed what the downlinks carried — and matches
+      exactly when nothing was undeliverable and no ``fabric_degrade``
+      window inflated on-wire bytes.
+    """
+    out: List[str] = []
+    ports = list(fabric.ports.values())
+    tx = sum(p.frames["tx"] for p in ports)
+    rx = sum(p.frames["rx"] for p in ports)
+    undeliverable = fabric.undeliverable
+    drained = fabric.sim.pending_events == 0
+    if drained:
+        if tx != rx + undeliverable:
+            out.append(
+                f"fabric frames: {tx} tx != {rx} rx + "
+                f"{undeliverable} undeliverable"
+            )
+    elif tx < rx + undeliverable:
+        out.append(
+            f"fabric frames: {tx} tx < {rx} rx + "
+            f"{undeliverable} undeliverable (counters ran backwards)"
+        )
+    out_bytes = sum(p.wire.bytes_carried["out"] for p in ports)
+    in_bytes = sum(p.wire.bytes_carried["in"] for p in ports)
+    if drained and out_bytes != in_bytes:
+        out.append(
+            f"fabric bytes: uplinks carried {out_bytes} != "
+            f"downlinks carried {in_bytes}"
+        )
+    metered = fabric.metrics.cross_host_bytes()
+    if metered > in_bytes:
+        out.append(
+            f"fabric metering: cross_host table claims {metered} bytes "
+            f"but downlinks carried only {in_bytes}"
+        )
+    faults = fabric.metrics.faults
+    lossless = (
+        drained
+        and undeliverable == 0
+        and faults.get(_FABRIC_DEGRADE, 0) == 0
+        and all(faults.get(kind, 0) == 0 for kind in _FABRIC_LOSSY)
+    )
+    if lossless and metered != in_bytes:
+        out.append(
+            f"fabric metering: clean fabric, but cross_host {metered} "
+            f"bytes != {in_bytes} bytes carried"
+        )
+    return out
+
+
+def span_reconciliation_violations(collector, metrics) -> List[str]:
+    """Cycle conservation per exit chain: span-attributed cycles must
+    never exceed the flat Metrics charge for the same category (spans
+    subdivide the Metrics totals; handler work outside any dispatch
+    frame legitimately leaves a non-negative remainder), and every
+    opened span must close by the time the clock drains."""
+    out: List[str] = []
+    for category, span_cy, metric_cy, rest in collector.reconcile(metrics):
+        if rest < -_CYCLE_EPS * max(1.0, metric_cy):
+            out.append(
+                f"span reconcile: {category}: spans attribute "
+                f"{span_cy:,.0f} cycles > Metrics charge {metric_cy:,.0f}"
+            )
+    if collector.sim.pending_events == 0:
+        open_spans = collector.spans_opened - collector.spans_closed
+        if open_spans:
+            out.append(
+                f"span reconcile: {open_spans} span(s) still open after "
+                f"the clock drained"
+            )
+    return out
+
+
+def orphaned_process_violations(processes) -> List[str]:
+    """No simulation process belonging to a finished unit of work may
+    remain runnable: it would keep consuming the shared clock on every
+    later ``sim.run``.  A process is *retired* if it completed, was
+    cancelled, or its generator frame is gone (it raised — the engine
+    never reschedules it)."""
+    out: List[str] = []
+    for proc in processes:
+        retired = (
+            proc.done
+            or proc.cancelled
+            or getattr(proc.gen, "gi_frame", None) is None
+        )
+        if not retired:
+            out.append(f"process {proc.name!r} still runnable after its "
+                       f"work unit ended")
+    return out

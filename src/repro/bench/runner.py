@@ -228,14 +228,21 @@ def run_figure(
 
 
 # ----------------------------------------------------------------------
-def run_migration_experiment(seed: int = 0) -> List[MigrationRow]:
+def run_migration_experiment(seed: int = 0, audit=None) -> List[MigrationRow]:
     """The §4 migration experiment: migrate VMs and nested VMs using
-    paravirtual I/O vs DVH; passthrough cannot migrate at all."""
+    paravirtual I/O vs DVH; passthrough cannot migrate at all.
+
+    ``audit`` optionally takes a :class:`repro.audit.Auditor`, attached
+    to every scenario's stack (lifecycle/conservation checks run at the
+    caller's ``finish()``); the measured rows are identical either way.
+    """
     rows: List[MigrationRow] = []
 
     def migrate(scenario: str, config: StackConfig, scope: str) -> None:
         stack = build_stack(replace(config, seed=seed))
         stack.settle()
+        if audit is not None:
+            audit.attach_stack(stack)
         vm = stack.leaf_vm if scope == "nested" else stack.vms[0]
         devices = []
         if scope == "nested" and stack.config.io_model == "vp":

@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro app memcached --levels 2 --io vp --dvh full --report
     python -m repro faults fuzz --episodes 500 --seed 1
     python -m repro faults plan --levels 2 --io vp --dvh full
+    python -m repro audit --episodes 500
+    python -m repro cluster migrate --io vp --audit
 
 Every subcommand accepts ``--seed`` (before or after the subcommand
 name): it reseeds the simulated stacks, so the same seed reproduces the
@@ -83,7 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_arg(fig)
     add_seed_arg(fig)
 
+    def add_audit_arg(p):
+        p.add_argument(
+            "--audit",
+            action="store_true",
+            help="arm the runtime invariant auditor (exit 1 on violations)",
+        )
+
     mig = sub.add_parser("migration", help="the Section 4 migration experiment")
+    add_audit_arg(mig)
     add_seed_arg(mig)
 
     def add_stack_args(p):
@@ -98,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     micro.add_argument("name", choices=sorted(MICROBENCHMARKS))
     micro.add_argument("--iterations", type=int, default=30)
     add_stack_args(micro)
+    add_audit_arg(micro)
     add_seed_arg(micro)
 
     trace = sub.add_parser(
@@ -145,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true", help="print the exit/cycle report"
     )
     add_stack_args(app)
+    add_audit_arg(app)
     add_seed_arg(app)
 
     faults = sub.add_parser(
@@ -170,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--verbose", action="store_true", help="print failing episodes' plans"
     )
+    add_audit_arg(fuzz)
     add_seed_arg(fuzz)
 
     plan = fsub.add_parser(
@@ -188,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true", help="print the full exit/cycle report"
     )
     add_stack_args(plan)
+    add_audit_arg(plan)
     add_seed_arg(plan)
 
     cluster = sub.add_parser(
@@ -214,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--json", action="store_true", help="print machine-readable JSON"
         )
+        add_audit_arg(p)
         add_seed_arg(p)
 
     cdemo = csub.add_parser(
@@ -247,6 +262,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_arg(csweep)
     add_seed_arg(csweep)
 
+    audit = sub.add_parser(
+        "audit",
+        help="runtime invariant audit: drive the migration/cluster fault "
+        "matrix and a fuzz campaign with every auditor check armed",
+    )
+    audit.add_argument(
+        "--episodes",
+        type=int,
+        default=500,
+        help="fuzz-campaign episodes (0 skips the fuzz leg)",
+    )
+    audit.add_argument(
+        "--verbose", action="store_true", help="print per-scenario detail"
+    )
+    add_seed_arg(audit)
+
     return parser
 
 
@@ -266,6 +297,26 @@ def _stack_config(args) -> StackConfig:
         guest_hv=args.guest_hv,
         seed=args.seed,
     )
+
+
+def _make_auditor(args):
+    """An armed :class:`repro.audit.Auditor` when ``--audit`` was given,
+    else None (the un-audited run stays byte-identical)."""
+    if not getattr(args, "audit", False):
+        return None
+    from repro.audit import Auditor
+
+    return Auditor()
+
+
+def _finish_audit(auditor) -> int:
+    """Render an armed auditor's report; non-zero on violations."""
+    if auditor is None:
+        return 0
+    report = auditor.finish()
+    print()
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -301,17 +352,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "migration":
         from repro.bench import format_migration, run_migration_experiment
 
-        print(format_migration(run_migration_experiment(seed=args.seed)))
-        return 0
+        auditor = _make_auditor(args)
+        print(format_migration(run_migration_experiment(seed=args.seed, audit=auditor)))
+        return _finish_audit(auditor)
 
     if args.command == "micro":
         stack = build_stack(_stack_config(args))
+        auditor = _make_auditor(args)
+        if auditor is not None:
+            auditor.attach_stack(stack)
         cycles = run_microbenchmark(stack, args.name, args.iterations)
         print(
             f"{args.name} (levels={args.levels}, dvh={args.dvh}): "
             f"{cycles:,.0f} cycles/op"
         )
-        return 0
+        return _finish_audit(auditor)
 
     if args.command == "trace":
         return _run_trace(args)
@@ -329,8 +384,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "cluster":
         return _run_cluster(args)
 
+    if args.command == "audit":
+        from repro.audit.runner import render_audit, run_audit
+
+        run = run_audit(seed=args.seed, episodes=args.episodes)
+        print(render_audit(run, verbose=args.verbose))
+        return 0 if run.ok else 1
+
     if args.command == "app":
         stack = build_stack(_stack_config(args))
+        auditor = _make_auditor(args)
+        if auditor is not None:
+            auditor.attach_stack(stack)
         result = run_app(stack, args.name, scale=args.scale)
         print(
             f"{args.name} (levels={args.levels}, io={stack.config.io_model}, "
@@ -342,7 +407,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             print()
             print(full_report(stack.metrics, stack.machine.freq_hz, sim=stack.sim))
-        return 0
+        return _finish_audit(auditor)
 
     return 2  # pragma: no cover - argparse enforces the choices
 
@@ -396,6 +461,7 @@ def _run_faults(args) -> int:
             ops_per_worker=args.ops,
             intensity=args.intensity,
             replay_every=args.replay_every,
+            audit=args.audit,
         )
         campaign = fuzzer.run()
         print(render_campaign(campaign, verbose=args.verbose))
@@ -415,6 +481,9 @@ def _run_faults(args) -> int:
     classes = args.classes if args.classes else FUZZ_CLASSES
     plan = FaultPlan.random(args.seed, classes=classes, intensity=args.intensity)
     stack, injector = build_faulted_stack(config, plan, seed=args.seed)
+    auditor = _make_auditor(args)
+    if auditor is not None:
+        auditor.attach_stack(stack)
     violations = []
     ops = {}
     try:
@@ -422,6 +491,8 @@ def _run_faults(args) -> int:
     except RuntimeError as exc:
         violations.append(f"stranded: {exc}")
     violations.extend(check_invariants(stack, injector))
+    if auditor is not None:
+        violations.extend(str(v) for v in auditor.finish().violations)
     print(render_plan_run(stack, injector, ops=ops))
     if args.report:
         from repro.metrics.report import full_report
@@ -479,10 +550,12 @@ def _run_cluster(args) -> int:
             num_tenants=args.tenants,
             policy=args.policy,
             fault_plan=_cluster_fault_plan(args),
+            audit=args.audit,
         )
+        audit = summary.get("audit")
         if args.json:
             print(json.dumps(summary, indent=2, sort_keys=True))
-            return 0
+            return 1 if audit and not audit["ok"] else 0
         print(
             f"cluster demo: {args.hosts} hosts, {args.tenants} tenants, "
             f"policy={args.policy}, seed={args.seed}"
@@ -502,6 +575,14 @@ def _run_cluster(args) -> int:
             f"migrations: {len(moved)} ok, {len(stuck)} refused/failed "
             f"(digest {summary['digest'][:16]})"
         )
+        if audit is not None:
+            print(
+                f"audit: {audit['checks_run']} checks, "
+                f"{len(audit['violations'])} violation(s)"
+            )
+            for violation in audit["violations"]:
+                print(f"  VIOLATION {violation}")
+            return 0 if audit["ok"] else 1
         return 0
 
     # mode == "migrate": one cross-host migration, asymmetry on display.
@@ -515,6 +596,7 @@ def _run_cluster(args) -> int:
         guest_hv=args.guest_hv,
         fault_plan=_cluster_fault_plan(args),
     )
+    auditor = cluster.enable_audit() if args.audit else None
     cluster.place(TenantSpec(name="tenant0", io_model=args.io, memory_gb=8))
     src = cluster.host_of("tenant0")
     dst = [h for h in cluster.hosts if h.name != src.name][0]
@@ -524,14 +606,26 @@ def _run_cluster(args) -> int:
         )
     except MigrationNotSupported as exc:
         print(f"migration refused (hardware-coupled): {exc}")
+        _finish_audit(auditor)
         return 1
     except MigrationError as exc:
         print(f"migration failed: {exc}")
+        _finish_audit(auditor)
         return 1
     result = record.result
     if args.json:
-        print(json.dumps(cluster.summary(), indent=2, sort_keys=True))
-        return 0
+        summary = cluster.summary()
+        rc = 0
+        if auditor is not None:
+            report = auditor.finish()
+            summary["audit"] = {
+                "ok": report.ok,
+                "checks_run": report.checks_run,
+                "violations": [str(v) for v in report.violations],
+            }
+            rc = 0 if report.ok else 1
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return rc
     print(
         f"migrated tenant0 ({args.io}) {src.name} -> {dst.name}: "
         f"downtime {result.downtime_s * 1e3:.3f} ms, "
@@ -543,7 +637,7 @@ def _run_cluster(args) -> int:
         f"fabric migration bytes: "
         f"{cluster.fabric.metrics.cross_host_bytes('migration'):,}"
     )
-    return 0
+    return _finish_audit(auditor)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -103,6 +103,10 @@ class Cluster:
         #: Fabric-level fault injector (or None).  Attached to the
         #: Fabric, which quacks enough like a machine (sim + metrics).
         self.faults = None
+        #: Runtime invariant auditor (see repro.audit), or None =
+        #: auditing off.  Set by :meth:`enable_audit` /
+        #: ``Auditor.attach_cluster``; the orchestrator consults it.
+        self.audit = None
         if fault_plan is not None and not fault_plan.is_empty:
             self.faults = FaultInjector(self.fabric, fault_plan, seed=seed).attach()
         # Drain boot-time backend startup so the trace starts quiet.
@@ -149,6 +153,15 @@ class Cluster:
 
     def migrate(self, tenant_name: str, dst_host: str, **kwargs) -> MigrationRecord:
         return self.orchestrator.migrate(tenant_name, dst_host, **kwargs)
+
+    def enable_audit(self):
+        """Arm the runtime invariant auditor over every host and the
+        fabric; returns the :class:`~repro.audit.Auditor` (call its
+        ``finish()`` after the run).  Opt-in: auditing observes only,
+        the simulated bytes are identical either way."""
+        from repro.audit import Auditor
+
+        return Auditor().attach_cluster(self)
 
     # ------------------------------------------------------------------
     # Cross-host tenant traffic

@@ -131,6 +131,7 @@ class Orchestrator:
         tenant_name: str,
         dst_host: str,
         downtime_limit_s: Optional[float] = 0.5,
+        downtime_target_s: float = 0.03,
         max_attempts: int = 3,
         attempt_backoff_cycles: int = 2_000_000,
     ) -> MigrationRecord:
@@ -154,6 +155,10 @@ class Orchestrator:
         )
 
         attempts = 0
+        #: Chunk/wire retries from *failed* attempts: each attempt gets a
+        #: fresh channel, so without carrying the running total here the
+        #: final MigrationResult.retries would silently drop them.
+        carried_retries = 0
         while True:
             attempts += 1
             channel = FabricChannel(cluster.fabric, src.name, dst.name)
@@ -162,6 +167,7 @@ class Orchestrator:
                 tenant.vm,
                 devices=tenant.devices,
                 channel=channel,
+                downtime_target_s=downtime_target_s,
                 downtime_limit_s=downtime_limit_s,
             )
             try:
@@ -179,6 +185,7 @@ class Orchestrator:
                 cluster.log(f"migrate {tenant_name} unsupported: {exc}")
                 raise
             except MigrationError as exc:
+                carried_retries += channel.retries + migration.retries
                 cluster.fabric.metrics.record_fault("migration_attempt")
                 if attempts >= max_attempts:
                     record = MigrationRecord(
@@ -203,6 +210,7 @@ class Orchestrator:
                 continue
             break
 
+        result.retries += carried_retries
         src.evict(tenant_name)
         adopted = dst.adopt(tenant)
         record = MigrationRecord(
@@ -236,6 +244,9 @@ class Orchestrator:
             # An aborted migration leaves the dirtier mid-loop; cancel it
             # or it spins forever on every later run of the shared clock.
             dirtier.cancel()
+            audit = getattr(self.cluster, "audit", None)
+            if audit is not None:
+                audit.on_attempt_end(tenant.name, (proc, dirtier))
         if not proc.done:
             raise MigrationError(
                 f"{tenant.name}: migration never completed (deadlock)"

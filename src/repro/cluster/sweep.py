@@ -56,16 +56,21 @@ def run_demo(
     num_tenants: int = 6,
     policy: str = "bin-pack",
     fault_plan=None,
+    audit: bool = False,
 ) -> Dict:
     """The canonical cluster scenario: boot, place a mixed fleet, run a
     cross-host stream, then evacuate host0 — the DVH tenants move, the
-    hardware-coupled ones stay.  Returns the cluster summary dict."""
+    hardware-coupled ones stay.  Returns the cluster summary dict.
+    ``audit=True`` arms the runtime invariant auditor and adds an
+    ``"audit"`` section to the summary (the simulated bytes — trace,
+    digest — are identical either way)."""
     from repro.core.migration import MigrationError, MigrationNotSupported
     from repro.cluster import Cluster
 
     cluster = Cluster(
         num_hosts=num_hosts, seed=seed, policy=policy, fault_plan=fault_plan
     )
+    auditor = cluster.enable_audit() if audit else None
     for spec in standard_tenants(num_tenants):
         cluster.place(spec)
     if num_hosts >= 2:
@@ -77,6 +82,13 @@ def run_demo(
         cluster.sim.run()
     summary = cluster.summary()
     summary["trace"] = cluster.events
+    if auditor is not None:
+        report = auditor.finish()
+        summary["audit"] = {
+            "ok": report.ok,
+            "checks_run": report.checks_run,
+            "violations": [str(v) for v in report.violations],
+        }
     return summary
 
 

@@ -230,6 +230,23 @@ class LiveMigration:
         base = self.vm.memory.size_bytes // FOOTPRINT_DIVISOR // PAGE_SIZE
         return base + len(self.vm.memory.touched_pages)
 
+    def _teardown(self, cpu_log: DirtyLog, backends) -> None:
+        """Release every resource the migration holds: detach the CPU
+        dirty log, disable device dirty logging, resume paused backends.
+
+        Idempotent, and run from ``run``'s ``finally`` so it covers
+        *every* exit path — success, non-convergence abort, a
+        :class:`MigrationError` from the wire mid-flight, and process
+        cancellation.  Before this ran unconditionally, a fabric
+        partition during stop-and-copy left the tenant's virtio backends
+        paused forever and each orchestrator retry stacked a fresh dirty
+        log on top of the leaked one."""
+        self.vm.memory.detach_dirty_log(cpu_log)
+        for device, backend in backends:
+            set_device_dirty_logging(device, backend, None)
+            if backend.paused:
+                backend.resume()
+
     # ------------------------------------------------------------------
     def run(self) -> Generator:
         """The migration process (drive with ``sim.run_process`` or spawn
@@ -239,6 +256,7 @@ class LiveMigration:
                 f"{self.vm.name} uses physical device passthrough"
             )
         sim = self.machine.sim
+        audit = getattr(self.machine, "audit", None)
         start = sim.now
         total_bytes = 0
 
@@ -257,7 +275,28 @@ class LiveMigration:
             set_device_dirty_logging(device, backend, log)
             device_logs.append(log)
             backends.append((device, backend))
+        if audit is not None:
+            audit.on_migration_start(self.vm, cpu_log, device_logs, backends)
 
+        outcome = "failed"
+        try:
+            result = yield from self._run_body(
+                sim, audit, start, total_bytes, cpu_log, device_logs, backends
+            )
+            outcome = "ok"
+            return result
+        finally:
+            self._teardown(cpu_log, backends)
+            if audit is not None:
+                audit.on_migration_end(
+                    self.vm, outcome, cpu_log, device_logs, backends
+                )
+
+    def _run_body(
+        self, sim, audit, start, total_bytes, cpu_log, device_logs, backends
+    ) -> Generator:
+        """Pre-copy rounds, stop-and-copy, switch-over.  Resource
+        teardown lives in ``run``'s ``finally``, never here."""
         # DVH virtual-hardware state to save (§3.6): the virtual timer
         # value and the VCIMT address ride along with the VM state.
         dvh_state_saved = False
@@ -283,15 +322,23 @@ class LiveMigration:
         pending: Set[int] = set()
         converged = False
         while rounds < self.max_rounds:
-            pending |= set(cpu_log.drain())
+            drained = set(cpu_log.drain())
             for log in device_logs:
-                pending |= log.drain()
+                drained |= log.drain()
+            pending |= drained
+            if audit is not None and drained:
+                audit.on_pages_drained(self.vm, drained)
             nbytes = len(pending) * PAGE_SIZE
-            if nbytes * 8 / self.bandwidth_bps <= self.downtime_target_s:
+            # Judge convergence against the transport that will actually
+            # carry the stop-and-copy: an attached channel (a possibly
+            # degraded fabric path) rather than the flat wire rate.
+            if sim.seconds(self._transfer_cycles(nbytes)) <= self.downtime_target_s:
                 converged = True
                 break
             total_bytes += nbytes
             rounds += 1
+            if audit is not None and pending:
+                audit.on_pages_copied(self.vm, pending)
             pending = set()
             yield from self._transfer(nbytes)
 
@@ -299,9 +346,12 @@ class LiveMigration:
         for _device, backend in backends:
             backend.pause()
         downtime_start = sim.now
-        dirty = pending | set(cpu_log.drain())
+        drained = set(cpu_log.drain())
         for log in device_logs:
-            dirty |= log.drain()
+            drained |= log.drain()
+        if audit is not None and drained:
+            audit.on_pages_drained(self.vm, drained)
+        dirty = pending | drained
         nbytes = len(dirty) * PAGE_SIZE
         device_state = 0
         for device, backend in backends:
@@ -311,12 +361,9 @@ class LiveMigration:
                 self._transfer_cycles(nbytes + device_state) + SWITCHOVER_CYCLES
             )
             if projected_s > self.downtime_limit_s:
-                # Abort cleanly: detach logging and let the source VM
-                # keep running at full speed.
-                self.vm.memory.detach_dirty_log(cpu_log)
-                for device, backend in backends:
-                    set_device_dirty_logging(device, backend, None)
-                    backend.resume()
+                # Abort: the source VM keeps running at full speed
+                # (teardown in ``run``'s finally detaches the logs and
+                # resumes the backends).
                 raise MigrationError(
                     f"{self.vm.name}: dirty pages did not converge within "
                     f"{self.max_rounds} rounds (projected downtime "
@@ -327,12 +374,8 @@ class LiveMigration:
         yield from self._transfer(nbytes + device_state)
         yield SWITCHOVER_CYCLES
         downtime = sim.now - downtime_start
-
-        # --- Cleanup ---------------------------------------------------
-        self.vm.memory.detach_dirty_log(cpu_log)
-        for device, backend in backends:
-            set_device_dirty_logging(device, backend, None)
-            backend.resume()
+        if audit is not None and dirty:
+            audit.on_pages_copied(self.vm, dirty)
 
         return MigrationResult(
             vm_name=self.vm.name,

@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.audit.checks import lifecycle_violations
 from repro.core.features import DvhFeatures
 from repro.faults.chains import ChainTracker
 from repro.faults.injector import FaultInjector, degrade_config
@@ -147,6 +148,13 @@ def check_invariants(stack, injector: Optional[FaultInjector] = None) -> List[st
                     f"pending irr {sorted(vcpu.lapic.irr)}"
                 )
 
+    # Resource lifecycle (see repro.audit): nothing may leak a
+    # migration-held resource — no dirty log left attached to any VM's
+    # memory, no backend left paused or still dirty-logging.  Campaigns
+    # fail on the leaked-state bug class even when no invariant above
+    # notices the corruption.
+    violations.extend(lifecycle_violations(stack))
+
     # Cycle conservation: charges non-negative, and the total bounded by
     # wall-cycles across all CPUs.
     for category, cycles in metrics.cycles.items():
@@ -242,6 +250,7 @@ class TrapChainFuzzer:
         workers: int = 2,
         intensity: float = 0.08,
         replay_every: int = 10,
+        audit: bool = False,
     ) -> None:
         self.seed = seed
         self.episodes = episodes
@@ -251,6 +260,11 @@ class TrapChainFuzzer:
         self.workers = workers
         self.intensity = intensity
         self.replay_every = replay_every
+        #: Attach a fresh repro.audit.Auditor to every episode's stack
+        #: and fold its finish-time violations into the episode's.  The
+        #: auditor only observes, so episode digests (and the replay
+        #: check) are identical with auditing on or off.
+        self.audit = audit
 
     # ------------------------------------------------------------------
     def episode_seed(self, index: int) -> int:
@@ -288,6 +302,11 @@ class TrapChainFuzzer:
             intensity=self.intensity,
         )
         stack, injector = build_faulted_stack(config, plan, seed=eseed)
+        auditor = None
+        if self.audit:
+            from repro.audit import Auditor
+
+            auditor = Auditor().attach_stack(stack)
         violations: List[str] = []
         ops: Dict[str, int] = {}
         try:
@@ -302,6 +321,8 @@ class TrapChainFuzzer:
         except Exception as exc:  # invariant: hardened stacks never crash
             violations.append(f"crash: {type(exc).__name__}: {exc}")
         violations.extend(check_invariants(stack, injector))
+        if auditor is not None:
+            violations.extend(str(v) for v in auditor.finish().violations)
         digest = state_digest(stack, injector)
         return stack, injector, config, plan, ops, violations, digest
 

@@ -54,6 +54,11 @@ class Machine:
         #: Attached fault injector (see repro.faults), or None for a
         #: fault-free machine.  Consulted by the migration wire.
         self.faults = None
+        #: Attached runtime invariant auditor (see repro.audit), or None
+        #: = auditing off.  Instrumented sites (live migration) consult
+        #: it through ``getattr``-style None guards, so an un-audited
+        #: run is byte-identical to one built without the hooks.
+        self.audit = None
         #: Monotonic exit-chain id allocator (see repro.hv.dispatch): a
         #: root trap frame gets a fresh chain id, every exit its handlers
         #: cause inherits it.
