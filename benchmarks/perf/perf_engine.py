@@ -74,10 +74,43 @@ def bench_delay_chain(rounds: int = 200_000) -> Dict[str, float]:
     return sim.stats()
 
 
+def bench_periodic_phase(epochs: int = 200_000, period: int = 1_000) -> Dict[str, float]:
+    """A strictly periodic workload phase under steady-state fast-forward:
+    one process charging a fixed cycle cost then sleeping one period,
+    ``epochs`` times.  The engine should detect the steady state after
+    its confirmation window and collapse the rest into macro-events, so
+    the interesting number is simulated epochs retired per host second —
+    not events executed (which should stay tiny)."""
+    from repro.metrics import Metrics
+
+    sim = Simulator(fast_forward=True)
+    metrics = Metrics()
+    sim.ff.register_metrics(metrics)
+
+    def loop():
+        src = sim.ff.source("bench:periodic")
+        left = epochs
+        while left > 0:
+            metrics.charge("guest_work", period)
+            yield period
+            left -= 1
+            if left:
+                left -= src.observe(left)
+
+    sim.spawn(loop(), "periodic")
+    sim.run()
+    s = sim.stats()
+    s["epochs"] = epochs
+    wall = s["last_run_wall_s"]
+    s["epochs_per_host_s"] = epochs / wall if wall > 0 else 0.0
+    return s
+
+
 def run_benchmarks() -> Dict[str, Dict[str, float]]:
     return {
         "ping_pong": bench_ping_pong(),
         "delay_chain": bench_delay_chain(),
+        "periodic_phase": bench_periodic_phase(),
         "host": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
@@ -113,16 +146,46 @@ def main(argv=None) -> int:
     for name in ("ping_pong", "delay_chain"):
         s = results[name]
         print(
-            f"{name:12s} {s['last_run_events']:>10,.0f} events "
+            f"{name:14s} {s['last_run_events']:>10,.0f} events "
             f"in {s['last_run_wall_s']:.3f}s host wall = "
             f"{s['last_run_events_per_sec']:>12,.0f} events/s"
         )
+    pp = results["periodic_phase"]
+    print(
+        f"{'periodic_phase':14s} {pp['epochs']:>10,.0f} epochs "
+        f"({pp['ff_epochs_skipped']:,.0f} skipped, "
+        f"{pp['last_run_events']:,.0f} events) "
+        f"in {pp['last_run_wall_s']:.3f}s = "
+        f"{pp['epochs_per_host_s']:>12,.0f} epochs/s"
+    )
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(results, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
     if args.check:
+        # Regression assertion for the ping-pong slow path: same-time
+        # wakeups must ride the inline chain, not bounce through the
+        # outer scheduler (the shape that once showed inline_hits: 0).
+        pp = results["ping_pong"]
+        if pp["inline_hits"] <= pp["ready_hits"]:
+            print(
+                f"FAIL: ping-pong fell off the inline chain "
+                f"(inline_hits={pp['inline_hits']:,.0f} <= "
+                f"ready_hits={pp['ready_hits']:,.0f})",
+                file=sys.stderr,
+            )
+            return 1
+        # Fast-forward must collapse a strictly periodic phase: anything
+        # under 99% skipped means detection or the skip window broke.
+        pe = results["periodic_phase"]
+        if pe["ff_epochs_skipped"] < 0.99 * pe["epochs"]:
+            print(
+                f"FAIL: periodic phase skipped only "
+                f"{pe['ff_epochs_skipped']:,.0f} of {pe['epochs']:,.0f} epochs",
+                file=sys.stderr,
+            )
+            return 1
         rate = results["ping_pong"]["last_run_events_per_sec"]
         floor = MIN_EVENTS_PER_SEC
         if args.baseline:

@@ -273,8 +273,23 @@ class Auditor:
             self.checks_run += 1
             for message in span_reconciliation_violations(collector, metrics):
                 self._violate("span-reconcile", "spans", message)
+        # Surface fast-forward activity in the report (macro-skipped
+        # epochs charge Metrics without opening spans — accepted by the
+        # reconciliation check, but never silently): aggregate per
+        # simulator, not per subject, since stacks can share a clock.
+        observed = Counter(self.observed)
+        seen = set()
+        for kind, subject in self._subjects:
+            sim = subject.machine.sim if kind == "stack" else subject.sim
+            if id(sim) in seen:
+                continue
+            seen.add(id(sim))
+            ff = getattr(sim, "ff", None)
+            if ff is not None and (ff.epochs_skipped or ff.macro_events):
+                observed["ff_epochs_skipped"] += ff.epochs_skipped
+                observed["ff_macro_events"] += ff.macro_events
         return AuditReport(
             violations=list(self.violations),
-            observed=Counter(self.observed),
+            observed=observed,
             checks_run=self.checks_run,
         )

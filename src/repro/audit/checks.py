@@ -128,7 +128,13 @@ def span_reconciliation_violations(collector, metrics) -> List[str]:
     never exceed the flat Metrics charge for the same category (spans
     subdivide the Metrics totals; handler work outside any dispatch
     frame legitimately leaves a non-negative remainder), and every
-    opened span must close by the time the clock drains."""
+    opened span must close by the time the clock drains.
+
+    Fast-forward macro-events are accepted attribution: a skipped epoch
+    charges Metrics without opening spans (span tracing vetoes skipping
+    *while attached*, but epochs skipped before attach or after detach
+    are legitimate), so the remainder check stays one-sided — only
+    spans exceeding Metrics is a violation."""
     out: List[str] = []
     for category, span_cy, metric_cy, rest in collector.reconcile(metrics):
         if rest < -_CYCLE_EPS * max(1.0, metric_cy):

@@ -54,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="global simulation seed (same seed, same run, bit for bit)",
     )
+    parser.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help="disable steady-state epoch skipping and micro-step every "
+        "event (simulated results are byte-identical either way; this "
+        "only trades wall time for an exhaustive event trace)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_jobs_arg(p):
@@ -69,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
         # by the subparser's default when the flag follows the subcommand.
         p.add_argument(
             "--seed", type=int, default=argparse.SUPPRESS, help="simulation seed"
+        )
+        p.add_argument(
+            "--no-fast-forward",
+            action="store_true",
+            default=argparse.SUPPRESS,
+            help="micro-step every event (no epoch skipping)",
         )
 
     t3 = sub.add_parser("table3", help="Table 3: microbenchmark cycles")
@@ -321,6 +334,14 @@ def _finish_audit(auditor) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if getattr(args, "no_fast_forward", False):
+        # Threaded like --seed: the env var is read at Simulator
+        # construction (and inherited by --jobs worker subprocesses),
+        # so every stack built below micro-steps.
+        import os
+
+        os.environ["REPRO_FAST_FORWARD"] = "0"
 
     if args.command == "table3":
         from repro.bench import format_table3, run_table3

@@ -37,7 +37,7 @@ class UndeliverableError(RuntimeError):
     destination host is lost while the frame is in flight."""
 
 
-@dataclass
+@dataclass(slots=True)
 class FabricFrame:
     """One message on the fabric (a jumbo frame / GSO burst)."""
 
@@ -60,6 +60,8 @@ class FabricPort:
     delivered frames (installed by the cluster host; frames with no
     receiver are dropped like unconsumed NIC packets).
     """
+
+    __slots__ = ("fabric", "host", "wire", "receiver", "frames")
 
     def __init__(self, fabric: "Fabric", host: str, wire: Wire) -> None:
         self.fabric = fabric
@@ -88,6 +90,16 @@ class Fabric:
         self.faults = None
         #: Frames dropped because the destination was unknown or lost.
         self.undeliverable = 0
+        # Fast-forward: the fabric's counters (cross_host bytes, frame
+        # counts) join every epoch fingerprint on the shared simulator,
+        # so a skipped pre-copy cadence scales them exactly.
+        sim.ff.register_metrics(self.metrics)
+        sim.ff.add_veto(self._ff_veto)
+
+    def _ff_veto(self):
+        # Fabric fault windows (partitions, host loss, degrade) open and
+        # close on absolute schedules a macro-event could jump past.
+        return "fabric_faults" if self.faults is not None else None
 
     # ------------------------------------------------------------------
     # Topology

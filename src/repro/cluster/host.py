@@ -47,7 +47,7 @@ TENANT_PASSTHROUGH = "passthrough"
 _TENANT_MODELS = (TENANT_VIRTIO, TENANT_VP, TENANT_PASSTHROUGH)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TenantSpec:
     """What a tenant asks for."""
 
@@ -73,7 +73,7 @@ class TenantSpec:
             raise ValueError("memory_gb must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class Tenant:
     """A placed tenant: the spec plus the live objects backing it."""
 

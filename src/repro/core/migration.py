@@ -278,6 +278,14 @@ class LiveMigration:
         if audit is not None:
             audit.on_migration_start(self.vm, cpu_log, device_logs, backends)
 
+        # Fast-forward: drop any steady-state fingerprints (the dirty
+        # logs just changed what an epoch observes) and veto workload
+        # skipping for the duration — a skipped epoch would lose the
+        # re-dirty records pre-copy rounds must drain.  The pre-copy
+        # chunk stream itself exempts this veto (see FabricChannel).
+        sim.ff.perturb("migration")
+        self.machine.ff_migrations += 1
+
         outcome = "failed"
         try:
             result = yield from self._run_body(
@@ -286,6 +294,8 @@ class LiveMigration:
             outcome = "ok"
             return result
         finally:
+            self.machine.ff_migrations -= 1
+            sim.ff.perturb("migration-end")
             self._teardown(cpu_log, backends)
             if audit is not None:
                 audit.on_migration_end(

@@ -58,7 +58,9 @@ def suspend_vm(machine, vm, devices: Optional[List] = None) -> VmCheckpoint:
         # Cancel the host-side hrtimer backing this vCPU's timer: a
         # suspended VM must not receive interrupts; the deadline is
         # saved relative and re-armed on resume.
-        host_hv._timer_tokens[vcpu] = host_hv._timer_tokens.get(vcpu, 0) + 1
+        handle = host_hv._timer_handles.pop(vcpu, None)
+        if handle is not None:
+            handle.cancel()
         checkpoint.vcpus.append(
             {
                 "index": vcpu.index,

@@ -160,6 +160,13 @@ class ExitHandlerRegistry:
         self._guest_default: Optional[GuestHandler] = None
         self._claims: Dict[ExitReason, OwnershipClaim] = {}
         self._claims_installed = False
+        # Flattened lookup tables indexed by ExitReason.index, with the
+        # defaults/fallbacks folded in.  Built lazily on first use and
+        # dropped on any (re-)registration; the dispatch hot path never
+        # pays a dict lookup or a fallback chain per exit.
+        self._l0_table: Optional[List[Optional[Tuple[L0Handler, bool]]]] = None
+        self._guest_tables: Dict[Optional[str], List[Optional[GuestHandler]]] = {}
+        self._claims_table: Optional[List[Optional[OwnershipClaim]]] = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -182,6 +189,7 @@ class ExitHandlerRegistry:
                 self._l0[reason] = (fn, dvh_capable)
             if default:
                 self._l0_default = (fn, dvh_capable)
+            self._l0_table = None
             return fn
 
         return deco
@@ -207,6 +215,7 @@ class ExitHandlerRegistry:
                 self._guest[key] = fn
             if default:
                 self._guest_default = fn
+            self._guest_tables.clear()
             return fn
 
         return deco
@@ -216,46 +225,83 @@ class ExitHandlerRegistry:
         if reason in self._claims:
             raise ValueError(f"duplicate ownership claim for {reason}")
         self._claims[reason] = claim
+        self._claims_table = None
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    def _build_l0_table(self) -> List[Optional[Tuple[L0Handler, bool]]]:
+        default = self._l0_default
+        table = [self._l0.get(reason, default) for reason in ExitReason]
+        self._l0_table = table
+        return table
+
     def l0_handler(self, reason: ExitReason) -> Tuple[L0Handler, bool]:
-        entry = self._l0.get(reason)
+        table = self._l0_table
+        if table is None:
+            table = self._build_l0_table()
+        entry = table[reason.index]
         if entry is None:
-            entry = self._l0_default
-            if entry is None:
-                raise LookupError(f"no L0 handler for {reason}")
+            raise LookupError(f"no L0 handler for {reason}")
         return entry
 
+    def _build_guest_table(
+        self, profile_name: Optional[str]
+    ) -> List[Optional[GuestHandler]]:
+        guest = self._guest
+        default = self._guest_default
+        table = [
+            guest.get((reason, profile_name))
+            or guest.get((reason, None))
+            or default
+            for reason in ExitReason
+        ]
+        self._guest_tables[profile_name] = table
+        return table
+
     def guest_handler(self, reason: ExitReason, profile: Any) -> GuestHandler:
-        fn = self._guest.get((reason, profile.name))
+        name = profile.name
+        table = self._guest_tables.get(name)
+        if table is None:
+            table = self._build_guest_table(name)
+        fn = table[reason.index]
         if fn is None:
-            fn = self._guest.get((reason, None))
-        if fn is None:
-            fn = self._guest_default
-            if fn is None:
-                raise LookupError(f"no guest handler for {reason}")
+            raise LookupError(f"no guest handler for {reason}")
         return fn
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    def _build_claims_table(self) -> List[Optional[OwnershipClaim]]:
+        if not self._claims_installed:
+            self._install_default_claims()
+        claims = self._claims
+        # Unclaimed reasons route statically; folding the static policy
+        # into the table keeps route() a single indexed call.  Shadow-EPT
+        # maintenance is the host hypervisor's job; everything else
+        # (hypercalls, VMX instructions, CPUID, MSRs) goes to the VM's
+        # own manager.
+        table: List[Optional[OwnershipClaim]] = []
+        for reason in ExitReason:
+            claim = claims.get(reason)
+            if claim is None:
+                if reason is ExitReason.EPT_VIOLATION:
+                    claim = lambda vcpu, exit_: 0
+                else:
+                    claim = lambda vcpu, exit_: vcpu.level - 1
+            table.append(claim)
+        self._claims_table = table
+        return table
+
     def route(self, vcpu: Any, exit_: Exit) -> int:
         """Return the level of the hypervisor that must handle the exit
         (0 = the host hypervisor handles it directly)."""
         if vcpu.level == 1:
             return 0
-        if not self._claims_installed:
-            self._install_default_claims()
-        claim = self._claims.get(exit_.reason)
-        if claim is not None:
-            return claim(vcpu, exit_)
-        if exit_.reason is ExitReason.EPT_VIOLATION:
-            # Shadow-EPT maintenance is the host hypervisor's job.
-            return 0
-        # Hypercalls, VMX instructions, CPUID, MSRs: the VM's own manager.
-        return vcpu.level - 1
+        table = self._claims_table
+        if table is None:
+            table = self._build_claims_table()
+        return table[exit_.reason.index](vcpu, exit_)
 
     def _install_default_claims(self) -> None:
         """Let each DVH feature module register its ownership claim.

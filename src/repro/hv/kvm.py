@@ -95,8 +95,10 @@ class KvmHypervisor:
         #: (set by the level below / the stack builder).
         self.capability = VmxCapability()
         self.guests: List[VirtualMachine] = []
-        #: Per-vCPU armed hrtimer tokens (cancellation on reprogram).
-        self._timer_tokens: Dict[VCpu, int] = {}
+        #: Per-vCPU armed hrtimer handles (cancelled on reprogram, so
+        #: stale arms leave only inert heap entries behind and never
+        #: block a fast-forward window).
+        self._timer_handles: Dict[VCpu, Any] = {}
         #: Virtio backends: device -> backend object (set by stack builder).
         self.backends: Dict[Any, Any] = {}
         #: §3.4 policy: number of *other* runnable nested VMs; virtual
@@ -235,19 +237,18 @@ class KvmHypervisor:
         self, vcpu: VCpu, host_deadline: int, vector: int, provider_level: int
     ) -> None:
         """Arm (or re-arm) the per-vCPU hrtimer backing timer emulation."""
-        token = self._timer_tokens.get(vcpu, 0) + 1
-        self._timer_tokens[vcpu] = token
+        stale = self._timer_handles.get(vcpu)
+        if stale is not None:
+            stale.cancel()
         fire_at = max(self.sim.now, host_deadline - vcpu.pcpu.tsc_boot_offset)
 
         def fire() -> None:
-            if self._timer_tokens.get(vcpu) != token:
-                return  # reprogrammed since: stale timer
             self.sim.spawn(
                 self._timer_fire(vcpu, vector, provider_level),
                 f"timer-fire:{vcpu.name}",
             )
 
-        self.sim.call_at(fire_at, fire)
+        self._timer_handles[vcpu] = self.sim.timer_at(fire_at, fire)
 
     def _timer_fire(self, vcpu: VCpu, vector: int, provider_level: int) -> Generator:
         """Timer expiry: deliver the timer interrupt to the vCPU.

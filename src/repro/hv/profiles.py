@@ -72,8 +72,18 @@ class HypervisorProfile:
     #: (the trapped ``VMCALL`` is charged like any other exit).
     io_notify_hypercall: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        # Flattened per-reason (read, write) table indexed by
+        # ExitReason.index — the exit hot path reads this instead of
+        # doing a dict lookup per exit.  Built once per (frozen) profile.
+        table = tuple(
+            self.op_counts.get(reason, self.default_op_counts)
+            for reason in ExitReason
+        )
+        object.__setattr__(self, "op_count_table", table)
+
     def reason_op_counts(self, reason: ExitReason) -> Tuple[int, int]:
-        return self.op_counts.get(reason, self.default_op_counts)
+        return self.op_count_table[reason.index]
 
 
 KVM_PROFILE = HypervisorProfile(name="kvm", op_counts=dict(_KVM_OP_COUNTS))

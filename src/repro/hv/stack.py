@@ -83,6 +83,10 @@ class StackConfig:
     #: (S3/S4: DVH-VP measured on ARM too; I/O models are
     #: platform-agnostic).
     arch: str = "x86"
+    #: Steady-state fast-forward (epoch skipping): None = follow the
+    #: ``REPRO_FAST_FORWARD`` env default, True/False force it for this
+    #: stack.  Simulated results are byte-identical either way.
+    fast_forward: object = None
 
     def validate(self) -> None:
         if self.levels < 0 or self.levels > MAX_LEVELS:
@@ -156,9 +160,13 @@ def build_stack(config: StackConfig, machine: Machine = None) -> Stack:
         if config.arch == "arm":
             from repro.sim.costs import arm_costs
 
-            machine = Machine(seed=config.seed, costs=arm_costs())
+            machine = Machine(
+                seed=config.seed,
+                costs=arm_costs(),
+                fast_forward=config.fast_forward,
+            )
         else:
-            machine = Machine(seed=config.seed)
+            machine = Machine(seed=config.seed, fast_forward=config.fast_forward)
     stack = Stack(config, machine)
     if config.levels == 0:
         return _build_native(stack)

@@ -144,6 +144,9 @@ class NativeContext(ExecutionContext):
         self.name = name or f"native{index}"
         self.lapic = cpu.lapic
         self.memory = machine.memory
+        #: Armed LAPIC-timer handle; cancelled on reprogram so stale
+        #: arms never block a fast-forward window.
+        self._timer_handle = None
 
     @property
     def pcpu(self) -> PhysicalCpu:
@@ -171,13 +174,17 @@ class NativeContext(ExecutionContext):
         delay = max(0, deadline_tsc - self.cpu.tsc)
         lapic = self.lapic
         cpu = self.cpu
+        stale = self._timer_handle
+        if stale is not None:
+            stale.cancel()
 
         def fire() -> None:
             if lapic.timer_deadline is not None and lapic.timer_deadline <= cpu.tsc:
                 lapic.fire_timer()
                 cpu.wake()
 
-        self.machine.sim.call_after(delay, fire)
+        sim = self.machine.sim
+        self._timer_handle = sim.timer_at(sim.now + delay, fire)
         yield self.NATIVE_OP_COST
 
     def send_ipi(self, dest_index: int, vector: int) -> Generator:

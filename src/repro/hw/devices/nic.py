@@ -20,7 +20,7 @@ from repro.hw.pci import Capability, CapabilityId, PciDevice
 __all__ = ["Packet", "Wire", "PhysicalNic", "VirtualFunction", "RemoteClient"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One wire message (a TCP segment / aggregated GRO batch)."""
 

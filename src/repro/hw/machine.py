@@ -35,8 +35,13 @@ class Machine:
         num_cpus: int = 20,
         memory_bytes: int = 192 * GB,
         seed: int = 0,
+        fast_forward: Optional[bool] = None,
     ) -> None:
-        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.sim = (
+            sim
+            if sim is not None
+            else Simulator(seed=seed, fast_forward=fast_forward)
+        )
         self.costs = costs if costs is not None else default_costs()
         self.metrics = Metrics()
         self.memory = MemorySpace(memory_bytes, name="host-ram")
@@ -69,10 +74,33 @@ class Machine:
         self.spans = None
         #: Per-chain exit accounting hook (repro.faults.chains), or None.
         self.chain_tracker = None
+        #: Live migrations in flight on this machine.  While non-zero,
+        #: workload fast-forward is vetoed: skipping epochs would lose
+        #: the re-dirty records the attached dirty logs must observe.
+        self.ff_migrations = 0
         self.wire = Wire(self.sim, self.costs.nic_bps, self.costs.wire_latency)
         self.nic: PhysicalNic = self.bus.plug(PhysicalNic("eth0", self.wire))
         self.ssd: SsdDevice = self.bus.plug(SsdDevice("ssd0", self.sim, self.costs))
         self.client = RemoteClient(self.sim, self.wire, self.nic, self.costs)
+        # Fast-forward: this machine's counters join every epoch
+        # fingerprint, and any attached observer (auditor, fault
+        # injector, span tracer, chain tracker) vetoes skipping — those
+        # hooks watch mid-epoch state a macro-event would hide.
+        self.sim.ff.register_metrics(self.metrics)
+        self.sim.ff.add_veto(self._ff_veto)
+
+    def _ff_veto(self) -> Optional[str]:
+        if self.audit is not None:
+            return "audit"
+        if self.faults is not None:
+            return "faults"
+        if self.spans is not None:
+            return "spans"
+        if self.chain_tracker is not None:
+            return "chain_tracker"
+        if self.ff_migrations:
+            return "migration"
+        return None
 
     # ------------------------------------------------------------------
     # Native execution (the baseline configuration)

@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-__all__ = ["Op", "ExitReason", "Exit"]
+__all__ = ["Op", "ExitReason", "Exit", "NUM_EXIT_REASONS"]
 
 
 class Op(enum.Enum):
@@ -58,13 +58,21 @@ class ExitReason(enum.Enum):
     PREEMPTION_TIMER = "preemption_timer"
 
 
+# Dense per-reason index for the flattened dispatch tables in
+# repro.hv.dispatch / repro.hv.profiles: table[reason.index] replaces a
+# dict lookup on the hot exit path.
+for _index, _reason in enumerate(ExitReason):
+    _reason.index = _index
+NUM_EXIT_REASONS = len(ExitReason)
+
+
 #: Well-known MSR indices (x2APIC registers live in MSR space).
 MSR_TSC_DEADLINE = 0x6E0
 MSR_X2APIC_ICR = 0x830
 MSR_X2APIC_EOI = 0x80B
 
 
-@dataclass
+@dataclass(slots=True)
 class Exit:
     """One VM exit: the reason plus decoded qualification info."""
 

@@ -62,6 +62,10 @@ class Metrics:
         #: (src_host, dst_host, kind) -> bytes carried over the datacenter
         #: fabric (see repro.cluster.fabric); empty on single-machine runs.
         self.cross_host: Counter = Counter()
+        #: Fast-forward float-charge log (see :meth:`ff_record`): None
+        #: when off, else the (category, cycles) additions whose order
+        #: matters for bit-exact replay.
+        self._ff_log = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -83,7 +87,44 @@ class Metrics:
         self.interrupts[(kind, mode)] += 1
 
     def charge(self, category: str, cycles: float) -> None:
-        self.cycles[category] += cycles
+        total = self.cycles[category] + cycles
+        self.cycles[category] = total
+        log = self._ff_log
+        if log is not None and (
+            (total.__class__ is float and not total.is_integer())
+            or (cycles.__class__ is float and not cycles.is_integer())
+        ):
+            # Non-integer float accumulation is order-sensitive (each +=
+            # rounds); keep the addends so a macro-event can replay them
+            # bit-for-bit.  Integer-valued growth is exact either way
+            # and stays out of the log.
+            if len(log) < 65536:
+                log.append((category, cycles))
+            else:  # runaway log (source stopped observing): give up
+                self._ff_log = None
+
+    # ------------------------------------------------------------------
+    # Fast-forward float-replay log
+    # ------------------------------------------------------------------
+    def ff_record(self) -> None:
+        """(Re)start logging order-sensitive float charges.  Driven by
+        :class:`repro.sim.fastforward.PeriodicSource` while a fingerprint
+        is being confirmed; the log is drained at every epoch-block
+        boundary by :meth:`ff_take_log`."""
+        self._ff_log = []
+
+    def ff_stop(self) -> None:
+        self._ff_log = None
+
+    def ff_take_log(self) -> Optional[tuple]:
+        """Drain the float-charge log accumulated since the last take
+        (or since :meth:`ff_record`).  Returns None when logging is off
+        or was abandoned (overflow)."""
+        log = self._ff_log
+        if log is None:
+            return None
+        self._ff_log = []
+        return tuple(log)
 
     def count(self, name: str, n: int = 1) -> None:
         self.events[name] += n
@@ -165,3 +206,42 @@ class Metrics:
         for attr in self._TABLES:
             setattr(out, attr, Counter(getattr(self, attr)))
         return out
+
+    def apply_scaled(
+        self, delta: Dict[str, Dict], n: int, float_log: Optional[tuple] = None
+    ) -> None:
+        """Apply a per-epoch snapshot delta ``n`` times in one shot.
+
+        This is the fast-forward macro-event accumulator: ``delta`` is the
+        fingerprinted counter growth of one steady-state epoch (the
+        ``{table: {key: growth}}`` shape produced by diffing two
+        :meth:`snapshot` results), and applying it ``n``-fold must land on
+        exactly the same counters ``n`` micro-stepped epochs would have.
+        Integer growths are exact under scaling; cycle categories with
+        order-sensitive float accumulation are replayed addition by
+        addition from ``float_log`` (one epoch's :meth:`ff_take_log`
+        output), so sums match bit-for-bit.
+        """
+        logged = {key for key, _ in float_log} if float_log else ()
+        for table, entries in delta.items():
+            counter: Counter = getattr(self, table)
+            replay = logged if table == "cycles" else ()
+            for key, grown in entries.items():
+                if key in replay:
+                    continue
+                scaled = grown * n
+                if scaled.__class__ is float:
+                    # Float-typed but integer-valued growth (exact at
+                    # counter magnitudes): repeated addition matches the
+                    # micro path; multiplication might flip the type.
+                    base = counter[key]
+                    for _ in range(n):
+                        base += grown
+                    counter[key] = base
+                else:
+                    counter[key] += scaled
+        if float_log:
+            cycles = self.cycles
+            for _ in range(n):
+                for key, add in float_log:
+                    cycles[key] += add

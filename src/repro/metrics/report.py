@@ -123,6 +123,20 @@ def simulator_report(sim) -> str:
         ["last run host wall", f"{s['last_run_wall_s'] * 1e3:,.2f} ms"],
         ["last run events/sec", f"{s['last_run_events_per_sec']:,.0f}"],
     ]
+    # Fast-forward accounting: skipped work must never be silently
+    # unobservable, so the macro-event counters always print when the
+    # mechanism is compiled in (even all-zero with it disabled).
+    if "ff_enabled" in s:
+        rows += [
+            ["fast-forward", "on" if s["ff_enabled"] else "off"],
+            ["ff epochs observed", f"{s['ff_epochs_observed']:,.0f}"],
+            ["ff detections", f"{s['ff_detections']:,.0f}"],
+            ["ff epochs skipped", f"{s['ff_epochs_skipped']:,.0f}"],
+            ["ff macro-events", f"{s['ff_macro_events']:,.0f}"],
+            ["ff window-blocked", f"{s['ff_window_blocked']:,.0f}"],
+        ]
+        for cause, n in sorted(s.get("ff_invalidations", {}).items()):
+            rows.append([f"ff invalidated: {cause}", f"{n:,.0f}"])
     return "Simulator cost (host-side)\n" + _table(["counter", "value"], rows)
 
 

@@ -1,14 +1,26 @@
 """Discrete-event simulation engine and cycle-cost model."""
 
 from repro.sim.costs import CostModel, arm_costs, default_costs
-from repro.sim.engine import Event, Process, SimulationError, Simulator
+from repro.sim.engine import (
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+    TimerHandle,
+    fast_forward_default,
+)
+from repro.sim.fastforward import FastForward, PeriodicSource
 
 __all__ = [
     "CostModel",
     "arm_costs",
     "default_costs",
     "Event",
+    "FastForward",
+    "PeriodicSource",
     "Process",
     "SimulationError",
     "Simulator",
+    "TimerHandle",
+    "fast_forward_default",
 ]

@@ -43,12 +43,14 @@ from typing import Dict
 __all__ = ["CostModel", "arm_costs", "default_costs"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CostModel:
     """All leaf cycle costs charged by the simulator.
 
     Instances are immutable by convention; use :meth:`scaled` or
     ``dataclasses.replace`` to derive variants for ablation studies.
+    ``slots=True`` keeps the many per-trap field reads on the dispatch
+    hot path off the instance-dict lookup path.
     """
 
     # ------------------------------------------------------------------

@@ -22,21 +22,49 @@ A *process* is a Python generator.  It may yield:
 
 Sub-routines compose with plain ``yield from``, which is how the hypervisor
 exit-handler chains in :mod:`repro.hv` nest arbitrarily deep.
+
+Fast-forward
+------------
+Each simulator owns a :class:`~repro.sim.fastforward.FastForward` manager
+(``sim.ff``).  Periodic workloads register sources with it; once a source
+proves its epochs identical, it may collapse runs of them through
+:meth:`Simulator.fast_advance`, which jumps the clock over a window that
+contains nothing live.  Cancellable timers (:meth:`Simulator.timer_at`)
+exist so re-armed hrtimers leave only *inert* heap entries behind instead
+of stale closures that would block every fast-forward window.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import random
 from collections import deque
 from time import perf_counter
 from typing import Any, Callable, Deque, Dict, Generator, Iterator, List, Optional, Tuple
 
-__all__ = ["Simulator", "Event", "Process", "SimulationError"]
+from repro.sim.fastforward import FastForward
+
+__all__ = ["Simulator", "Event", "Process", "TimerHandle", "SimulationError"]
 
 #: Cycles per second of the simulated machine (2.2 GHz Xeon Silver 4114,
 #: the paper's testbed CPU).
 DEFAULT_FREQ_HZ = 2_200_000_000
+
+def fast_forward_default() -> bool:
+    """Module default for :class:`Simulator`'s ``fast_forward`` argument.
+
+    ``REPRO_FAST_FORWARD=0`` disables epoch skipping everywhere.  Read at
+    construction time (not import time) so the CLI's ``--no-fast-forward``
+    flag — and worker subprocesses inheriting the environment — take
+    effect after imports.
+    """
+    return os.environ.get("REPRO_FAST_FORWARD", "").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+        "off",
+    )
 
 
 class SimulationError(RuntimeError):
@@ -67,9 +95,16 @@ class Event:
             return
         self.triggered = True
         self.value = value
-        for proc in self._waiters:
-            self.sim._resume(proc, value)
-        self._waiters.clear()
+        waiters = self._waiters
+        if waiters:
+            sim = self.sim
+            seq = sim._seq
+            ready = sim._ready
+            for proc in waiters:
+                seq += 1
+                ready.append((seq, proc, value))
+            sim._seq = seq
+            self._waiters = []
 
     def _add_waiter(self, proc: "Process") -> None:
         if self.triggered:
@@ -120,6 +155,36 @@ class Process:
         return f"<Process {self.name} {state}>"
 
 
+class TimerHandle:
+    """A cancellable scheduled callback (see :meth:`Simulator.timer_at`).
+
+    Cancellation is O(1): ``fn`` is cleared and the heap entry goes
+    *inert*.  The run loop drains inert entries without executing
+    anything (still advancing the clock to them, exactly like the stale
+    guard closures they replace), and the fast-forward machinery may
+    purge them from a skip window entirely — a cancelled timer is always
+    superseded by a strictly-later re-arm, so it can never determine the
+    final simulation time.
+    """
+
+    __slots__ = ("when", "fn")
+
+    def __init__(self, when: int, fn: Optional[Callable[[], None]]) -> None:
+        self.when = when
+        self.fn = fn
+
+    def cancel(self) -> None:
+        self.fn = None
+
+    @property
+    def active(self) -> bool:
+        return self.fn is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "armed" if self.fn is not None else "cancelled"
+        return f"<TimerHandle @{self.when} {state}>"
+
+
 class Simulator:
     """The discrete-event simulator: clock, event heap, process scheduler.
 
@@ -128,8 +193,9 @@ class Simulator:
     FIFO among same-time work):
 
     * ``_heap`` — ``(when, seq, item)`` records for *future* work, where
-      ``item`` is either a plain callable (:meth:`call_at`) or a
-      :class:`Process` to resume with ``None`` (a delay yield);
+      ``item`` is a plain callable (:meth:`call_at`), a
+      :class:`TimerHandle` (:meth:`timer_at`), or a :class:`Process` to
+      resume with ``None`` (a delay yield);
     * ``_ready`` — a FIFO deque of ``(seq, process, value)`` resume
       records for work at the *current* time (event triggers, joins,
       spawns).  Draining these from a deque instead of the heap is the
@@ -137,14 +203,21 @@ class Simulator:
       O(log n) heap churn for the zero-delay resumes that dominate
       generator-based workloads.
 
-    The run loop additionally advances the clock *inline* when a process
-    yields a delay and nothing else can possibly run before that delay
-    expires (ready queue empty, heap top strictly later), turning long
-    uncontended handler chains into a tight send loop that never touches
-    the heap.
+    The run loop advances the clock *inline* when a process yields a
+    delay and nothing else can possibly run before that delay expires
+    (ready queue empty, heap top strictly later), and *chains* through
+    same-time event waits: when a process parks on an un-triggered event
+    while a resume is already queued at this timestamp (the ping-pong
+    shape), the loop steps straight into the resumed process without
+    bouncing through the outer scheduler.
     """
 
-    def __init__(self, freq_hz: int = DEFAULT_FREQ_HZ, seed: int = 0) -> None:
+    def __init__(
+        self,
+        freq_hz: int = DEFAULT_FREQ_HZ,
+        seed: int = 0,
+        fast_forward: Optional[bool] = None,
+    ) -> None:
         self.freq_hz = int(freq_hz)
         self.now = 0
         self.rng = random.Random(seed)
@@ -157,6 +230,9 @@ class Simulator:
         self._inline_hits = 0
         self._last_run_events = 0
         self._last_run_wall_s = 0.0
+        if fast_forward is None:
+            fast_forward = fast_forward_default()
+        self.ff = FastForward(self, enabled=bool(fast_forward))
 
     # ------------------------------------------------------------------
     # Time helpers
@@ -202,6 +278,22 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay}")
         self.call_at(self.now + int(delay), fn)
 
+    def timer_at(self, when: int, fn: Callable[[], None]) -> TimerHandle:
+        """Schedule ``fn`` at ``when`` with O(1) cancellation.
+
+        Use this for anything re-armed repeatedly (hrtimers): cancelling
+        leaves an inert heap entry instead of a live stale closure, so
+        fast-forward windows stay open across re-arm churn.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now {self.now}"
+            )
+        handle = TimerHandle(int(when), fn)
+        self._seq += 1
+        heapq.heappush(self._heap, (handle.when, self._seq, handle))
+        return handle
+
     def spawn(self, gen: Generator, name: str = "proc") -> Process:
         """Start a new process from generator ``gen``; runs from time now."""
         if not isinstance(gen, Iterator):
@@ -219,6 +311,122 @@ class Simulator:
         """Schedule a zero-delay resume at the current time (FIFO)."""
         self._seq += 1
         self._ready.append((self._seq, proc, value))
+
+    # ------------------------------------------------------------------
+    # Fast-forward primitives
+    # ------------------------------------------------------------------
+    def ff_window(self) -> Optional[int]:
+        """Earliest time anything *live* is scheduled; None when nothing
+        is pending at all.  Inert (cancelled) timer handles at the heap
+        top are purged on the way — they cannot affect anything, and a
+        re-arm always supersedes them with a strictly later entry."""
+        if self._ready:
+            return self.now
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            when, _seq, item = heap[0]
+            if item.__class__ is TimerHandle and item.fn is None:
+                heappop(heap)
+                continue
+            return when
+        return None
+
+    def fast_advance(self, cycles: int) -> int:
+        """Jump the clock ``cycles`` forward without executing anything —
+        the macro-event primitive behind fast-forward.  Refuses (raises)
+        if any live work is scheduled inside the window; inert timer
+        handles in the window are purged."""
+        if cycles < 0:
+            raise SimulationError(f"negative fast_advance: {cycles}")
+        if self._ready:
+            raise SimulationError("fast_advance with pending ready work")
+        target = self.now + int(cycles)
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap and heap[0][0] <= target:
+            item = heap[0][2]
+            if item.__class__ is TimerHandle and item.fn is None:
+                heappop(heap)
+                continue
+            raise SimulationError(
+                f"fast_advance over live work at {heap[0][0]} "
+                f"(target {target})"
+            )
+        self.now = target
+        return target
+
+    def ff_scan(self, horizon: int) -> tuple:
+        """Partition the live heap around ``now + horizon`` for the
+        fast-forward machinery.
+
+        Returns ``(carriers, window)``: ``carriers`` is the list of live
+        *Process* heap entries due within the horizon, sorted by
+        ``(when, seq)`` — the cycle-carrier candidates a macro-event may
+        displace forward (see :meth:`ff_shift`); ``window`` is the
+        earliest ``when`` of every *other* live entry (timers, plain
+        callables, and anything beyond the horizon), or None.  Returns
+        ``(None, None)`` when the ready queue is non-empty — there is no
+        quiescent boundary to reason from.  As a side effect the scan
+        drops inert (cancelled) timer handles, compacting the heap.
+        """
+        if self._ready:
+            return None, None
+        heap = self._heap
+        limit = self.now + horizon
+        carriers = []
+        window: Optional[int] = None
+        live = []
+        for entry in heap:
+            item = entry[2]
+            if item.__class__ is TimerHandle and item.fn is None:
+                continue
+            live.append(entry)
+            if entry[0] <= limit and item.__class__ is Process:
+                carriers.append(entry)
+            elif window is None or entry[0] < window:
+                window = entry[0]
+        if len(live) != len(heap):
+            heap[:] = live
+            heapq.heapify(heap)
+        carriers.sort()
+        return carriers, window
+
+    def ff_shift(self, carriers, delta: int) -> int:
+        """Displace ``carriers`` (live heap entries from :meth:`ff_scan`)
+        ``delta`` cycles into the future and advance the clock with them.
+
+        This is the macro-event primitive for steady states that never
+        go fully quiescent (closed-loop request/response cycles): the
+        carriers are mid-cycle sleepers whose wakeup offsets repeat
+        every period, so moving them — in FIFO order, with fresh
+        sequence numbers — to the same offsets past the skipped span
+        reproduces exactly the heap a micro-stepped run would reach.
+        Refuses (raises) if any *other* live work falls inside the
+        window.
+        """
+        if delta < 0:
+            raise SimulationError(f"negative ff_shift: {delta}")
+        if self._ready:
+            raise SimulationError("ff_shift with pending ready work")
+        target = self.now + int(delta)
+        heap = self._heap
+        if carriers:
+            drop = {id(entry) for entry in carriers}
+            heap[:] = [entry for entry in heap if id(entry) not in drop]
+        for when, _seq, item in heap:
+            if when <= target and not (
+                item.__class__ is TimerHandle and item.fn is None
+            ):
+                raise SimulationError(
+                    f"ff_shift over live work at {when} (target {target})"
+                )
+        for when, _seq, item in carriers:
+            self._seq += 1
+            heap.append((when + delta, self._seq, item))
+        heapq.heapify(heap)
+        self.now = target
+        return target
 
     # ------------------------------------------------------------------
     # Main loop
@@ -250,10 +458,20 @@ class Simulator:
                     # earlier (smaller seq) runs before the oldest resume.
                     if heap and heap[0][0] == self.now and heap[0][1] < ready[0][0]:
                         item = heappop(heap)[2]
-                        heap_hits += 1
-                        if item.__class__ is Process:
+                        cls = item.__class__
+                        if cls is Process:
+                            heap_hits += 1
                             proc, value = item, None
+                        elif cls is TimerHandle:
+                            fn = item.fn
+                            if fn is None:
+                                continue
+                            heap_hits += 1
+                            executed += 1
+                            fn()
+                            continue
                         else:
+                            heap_hits += 1
                             executed += 1
                             item()
                             continue
@@ -267,10 +485,23 @@ class Simulator:
                         return self.now
                     item = heappop(heap)[2]
                     self.now = when
-                    heap_hits += 1
-                    if item.__class__ is Process:
+                    cls = item.__class__
+                    if cls is Process:
+                        heap_hits += 1
                         proc, value = item, None
+                    elif cls is TimerHandle:
+                        # Inert handles still advance the clock (above),
+                        # matching the stale-closure drains they replace,
+                        # but execute and count nothing.
+                        fn = item.fn
+                        if fn is None:
+                            continue
+                        heap_hits += 1
+                        executed += 1
+                        fn()
+                        continue
                     else:
+                        heap_hits += 1
                         executed += 1
                         item()
                         continue
@@ -279,7 +510,7 @@ class Simulator:
                         self.now = until
                     return self.now
 
-                # ---- step the process, chaining uncontended delays ----
+                # ---- step the process, chaining uncontended work ----
                 while True:
                     executed += 1
                     if proc.done:
@@ -305,21 +536,63 @@ class Simulator:
                         when = self.now + int(yielded)
                         # Inline fast path: nothing can run before `when`,
                         # so advance the clock and resume directly.
-                        if (
-                            not ready
-                            and (not heap or heap[0][0] > when)
-                            and (until is None or when <= until)
+                        if not ready and (
+                            (until is None or when <= until)
                             and (max_events is None or executed < max_events)
                         ):
-                            self.now = when
-                            inline_hits += 1
-                            value = None
-                            continue
+                            if not heap or heap[0][0] > when:
+                                self.now = when
+                                inline_hits += 1
+                                value = None
+                                continue
+                            # Inert cancelled timers are the only thing in
+                            # the way: drop them here instead of bouncing
+                            # through the outer loop once per stale arm.
+                            while True:
+                                top = heap[0][2]
+                                if (
+                                    top.__class__ is TimerHandle
+                                    and top.fn is None
+                                    and heap[0][0] <= when
+                                ):
+                                    heappop(heap)
+                                    if heap:
+                                        continue
+                                break
+                            if not heap or heap[0][0] > when:
+                                self.now = when
+                                inline_hits += 1
+                                value = None
+                                continue
                         self._seq += 1
                         heappush(heap, (when, self._seq, proc))
                         break
                     if ycls is Event or isinstance(yielded, Event):
-                        yielded._add_waiter(proc)
+                        if yielded.triggered:
+                            # FIFO: queue behind any already-ready work,
+                            # exactly like a trigger would have.
+                            self._seq += 1
+                            ready.append((self._seq, proc, yielded.value))
+                            break
+                        yielded._waiters.append(proc)
+                        # Ping-pong chain: this process just parked and a
+                        # resume is already queued at this timestamp (its
+                        # partner, in the two-process shape) — step into
+                        # it directly instead of re-entering the outer
+                        # scheduler, unless an earlier-scheduled heap
+                        # entry at this time must run first.
+                        if (
+                            ready
+                            and (max_events is None or executed < max_events)
+                            and not (
+                                heap
+                                and heap[0][0] == self.now
+                                and heap[0][1] < ready[0][0]
+                            )
+                        ):
+                            _seq, proc, value = ready.popleft()
+                            inline_hits += 1
+                            continue
                         break
                     if ycls is Process or isinstance(yielded, Process):
                         yielded._add_joiner(proc)
@@ -356,18 +629,21 @@ class Simulator:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, float]:
+    def stats(self) -> Dict[str, Any]:
         """Engine throughput counters.
 
         Returns lifetime totals (``events_executed`` plus the split
-        between ready-queue, heap, and inline-advance hits) and the cost
-        of the most recent :meth:`run` call (events, host wall seconds,
-        events/sec).  Surfaced by ``repro.metrics.report`` so experiment
-        reports show simulator cost next to simulated cycles.
+        between ready-queue, heap, and inline hits), the cost of the most
+        recent :meth:`run` call (events, host wall seconds, events/sec),
+        and the fast-forward counters (epochs observed/detected/skipped,
+        macro-events, invalidations by cause).  Surfaced by
+        ``repro.metrics.report`` so experiment reports show simulator
+        cost next to simulated cycles — skipped work is never silently
+        unobservable.
         """
         last_wall = self._last_run_wall_s
         last_events = self._last_run_events
-        return {
+        out: Dict[str, Any] = {
             "events_executed": self._event_count,
             "ready_hits": self._ready_hits,
             "heap_hits": self._heap_hits,
@@ -379,3 +655,5 @@ class Simulator:
                 last_events / last_wall if last_wall > 0 else 0.0
             ),
         }
+        out.update(self.ff.stats())
+        return out

@@ -101,6 +101,21 @@ class Tracer:
     def __len__(self) -> int:
         return len(self._events)
 
+    def digest(self) -> str:
+        """A stable content hash of the buffered events (time, category,
+        fields, in order) plus the drop/evict tallies.  The fast-forward
+        equivalence suite compares these digests with epoch skipping on
+        vs off: span tracing vetoes skipping, so an attached tracer must
+        see the identical timeline either way."""
+        import hashlib
+
+        h = hashlib.sha256()
+        for event in self._events:
+            h.update(repr((event.time, event.category,
+                           sorted(event.fields.items()))).encode())
+        h.update(f"dropped={self.dropped} evicted={self.evicted}".encode())
+        return h.hexdigest()
+
     # ------------------------------------------------------------------
     def render(self, last: Optional[int] = None, freq_hz: Optional[int] = None) -> str:
         """A human-readable timeline (most recent ``last`` events)."""

@@ -28,9 +28,14 @@ def _bench_hypercall(stack: Stack, iterations: int) -> float:
     sim = stack.sim
 
     def main():
+        src = sim.ff.source("micro:hypercall")
         start = sim.now
-        for _ in range(iterations):
+        left = iterations
+        while left > 0:
             yield from ctx.execute(Op.VMCALL)
+            left -= 1
+            if left:
+                left -= src.observe(left)
         return (sim.now - start) / iterations
 
     return sim.run_process(main(), "hypercall")
@@ -44,14 +49,19 @@ def _bench_devnotify(stack: Stack, iterations: int) -> float:
         raise ValueError("DevNotify needs a virtio network device")
 
     def main():
+        src = sim.ff.source("micro:devnotify")
         start = sim.now
-        for _ in range(iterations):
+        left = iterations
+        while left > 0:
             yield from ctx.execute(
                 Op.MMIO_WRITE,
                 addr=device.notify_addr,
                 value=device.tx.index,
                 device=device,
             )
+            left -= 1
+            if left:
+                left -= src.observe(left)
         return (sim.now - start) / iterations
 
     return sim.run_process(main(), "devnotify")
@@ -63,9 +73,14 @@ def _bench_program_timer(stack: Stack, iterations: int) -> float:
     far = sim.cycles(0.05)  # deadline far enough not to fire mid-benchmark
 
     def main():
+        src = sim.ff.source("micro:program-timer")
         start = sim.now
-        for _ in range(iterations):
+        left = iterations
+        while left > 0:
             yield from ctx.program_timer(ctx.read_tsc() + far, TIMER_VECTOR)
+            left -= 1
+            if left:
+                left -= src.observe(left)
         return (sim.now - start) / iterations
 
     return sim.run_process(main(), "program-timer")

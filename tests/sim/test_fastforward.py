@@ -1,0 +1,294 @@
+"""Steady-state fast-forward: equivalence and invalidation.
+
+The hard acceptance test for epoch skipping is *byte identity*: every
+simulated observable — final clock, every Metrics counter, workload
+results, latency lists, fuzz digests — must be exactly the same with
+fast-forward on and off.  Skipping may only change host wall time.
+
+The second half covers the invalidation rules: any observer or aperiodic
+event (fault injector, live migration, span tracing, audit attach) must
+stop macro-events from engaging or drop the locked fingerprint.
+"""
+
+import pytest
+
+from repro.core.features import DvhFeatures
+from repro.core.vidle import run_poll_idle_loop
+from repro.core.vtimer import run_tick_loop
+from repro.hv.stack import StackConfig, build_stack
+from repro.workloads.apps import run_app
+from repro.workloads.microbench import run_microbenchmark
+
+
+def _digest(stack):
+    """Every simulated observable of a single-stack run."""
+    return (
+        stack.sim.now,
+        repr(sorted(stack.metrics.snapshot().items())),
+        stack.sim.rng.getstate(),
+    )
+
+
+def _stack(ff, **kw):
+    kw.setdefault("levels", 2)
+    kw.setdefault("io_model", "virtio")
+    kw.setdefault("dvh", DvhFeatures.full())
+    return build_stack(StackConfig(fast_forward=ff, **kw))
+
+
+# ----------------------------------------------------------------------
+# Equivalence: byte-identical digests with fast-forward on vs off
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bench", ["Hypercall", "DevNotify", "ProgramTimer"])
+def test_table3_micro_ops_byte_identical(bench):
+    runs = {}
+    for ff in (False, True):
+        stack = _stack(ff)
+        cycles = run_microbenchmark(stack, bench, iterations=40)
+        runs[ff] = (cycles, _digest(stack), stack.sim.ff.epochs_skipped)
+    assert runs[True][:2] == runs[False][:2]
+    # Not vacuous: with fast-forward on, most iterations were skipped.
+    assert runs[True][2] > 20
+    assert runs[False][2] == 0
+
+
+@pytest.mark.parametrize(
+    "levels,io_model,dvh",
+    [
+        (2, "virtio", DvhFeatures.full()),
+        (2, "vp", DvhFeatures.full()),
+        (1, "virtio", DvhFeatures.none()),
+    ],
+)
+def test_fig7_netperf_rr_byte_identical(levels, io_model, dvh):
+    runs = {}
+    for ff in (False, True):
+        stack = _stack(ff, levels=levels, io_model=io_model, dvh=dvh)
+        r = run_app(stack, "netperf_rr", scale=0.3)
+        runs[ff] = (
+            (r.value, r.elapsed_s, r.txns, tuple(r.latencies)),
+            _digest(stack),
+            stack.sim.ff.epochs_skipped,
+        )
+    assert runs[True][:2] == runs[False][:2]
+    assert runs[False][2] == 0
+
+
+def test_netperf_rr_steady_state_actually_skips():
+    stack = _stack(True)
+    run_app(stack, "netperf_rr", scale=0.5)
+    ff = stack.sim.ff
+    assert ff.detections >= 1
+    assert ff.epochs_skipped > 50
+    # Skipped work stays observable through stats().
+    stats = stack.sim.stats()
+    assert stats["ff_epochs_skipped"] == ff.epochs_skipped
+    assert stats["ff_macro_events"] == ff.macro_events
+
+
+def test_vtimer_tick_loop_byte_identical():
+    runs = {}
+    for ff in (False, True):
+        stack = _stack(ff)
+        per_tick = run_tick_loop(stack, ticks=300)
+        runs[ff] = (per_tick, _digest(stack), stack.sim.ff.epochs_skipped)
+    assert runs[True][:2] == runs[False][:2]
+    assert runs[True][2] > 250
+
+
+def test_poll_idle_loop_byte_identical():
+    runs = {}
+    for ff in (False, True):
+        stack = _stack(ff)
+        polled = run_poll_idle_loop(stack, polls=300)
+        runs[ff] = (polled, _digest(stack), stack.sim.ff.epochs_skipped)
+    assert runs[True][:2] == runs[False][:2]
+    assert runs[True][2] > 250
+
+
+def test_fuzz_campaign_digests_identical():
+    """100 episodes, every digest identical with fast-forward on vs off.
+
+    Fault injection vetoes skipping, so this doubles as the guard that
+    the fast-forward machinery never perturbs a run it cannot skip.
+    """
+    from repro.bench.runner import fast_forward_override
+    from repro.faults.fuzz import TrapChainFuzzer
+
+    outcomes = {}
+    for ff in (False, True):
+        with fast_forward_override(ff):
+            campaign = TrapChainFuzzer(
+                seed=11, episodes=100, replay_every=0, ops_per_worker=6
+            ).run()
+        outcomes[ff] = [
+            (e.digest, e.config_desc, tuple(e.violations))
+            for e in campaign.episodes
+        ]
+    assert outcomes[True] == outcomes[False]
+
+
+def test_cluster_migrate_byte_identical():
+    from repro.cluster import Cluster, TenantSpec
+
+    runs = {}
+    for ff in (False, True):
+        cluster = Cluster(num_hosts=2, seed=7, fast_forward=ff)
+        cluster.place(TenantSpec(name="t0", io_model="vp", memory_gb=4))
+        record = cluster.migrate("t0", "host1")
+        runs[ff] = (
+            (
+                record.outcome,
+                record.result.total_s,
+                record.result.downtime_s,
+                record.result.bytes_transferred,
+            ),
+            cluster.sim.now,
+            repr(sorted(cluster.fabric.metrics.snapshot().items())),
+            [
+                repr(sorted(h.machine.metrics.snapshot().items()))
+                for h in cluster.hosts
+            ],
+            {h.name: dict(h.port.frames) for h in cluster.hosts},
+            {h.name: dict(h.port.wire.bytes_carried) for h in cluster.hosts},
+            cluster.sim.ff.epochs_skipped,
+        )
+    assert runs[True][:6] == runs[False][:6]
+    # The pre-copy chunk cadence skipped on the fast-forward run.
+    assert runs[True][6] > 0
+    assert runs[False][6] == 0
+
+
+# ----------------------------------------------------------------------
+# Invalidation: observers and aperiodic events stop macro-events
+# ----------------------------------------------------------------------
+def test_fault_injector_attached_vetoes_skipping():
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+
+    stack = _stack(True)
+    FaultInjector(stack.machine, FaultPlan.empty(), seed=3).attach()
+    run_microbenchmark(stack, "Hypercall", iterations=40)
+    assert stack.sim.ff.epochs_skipped == 0
+    assert stack.sim.ff.invalidations.get("faults", 0) > 0
+
+
+def test_audit_attached_vetoes_skipping():
+    from repro.audit import Auditor
+
+    stack = _stack(True)
+    auditor = Auditor()
+    auditor.attach_stack(stack)
+    run_microbenchmark(stack, "Hypercall", iterations=40)
+    assert stack.sim.ff.epochs_skipped == 0
+    assert stack.sim.ff.invalidations.get("audit", 0) > 0
+    assert auditor.finish().ok
+
+
+def test_span_tracing_attached_vetoes_skipping():
+    stack = _stack(True)
+    stack.machine.enable_span_tracing()
+    run_microbenchmark(stack, "Hypercall", iterations=40)
+    assert stack.sim.ff.epochs_skipped == 0
+    assert stack.sim.ff.invalidations.get("spans", 0) > 0
+
+
+def test_trace_digest_identical_under_span_veto():
+    """An attached tracer sees the identical timeline either way (the
+    veto forces micro-stepping, so no trace event is ever macro-hidden)."""
+    from repro.sim.trace import Tracer
+
+    digests = {}
+    for ff in (False, True):
+        stack = _stack(ff)
+        tracer = Tracer(stack.sim, capacity=100_000)
+        stack.machine.enable_span_tracing(tracer=tracer)
+        run_microbenchmark(stack, "ProgramTimer", iterations=30)
+        digests[ff] = tracer.digest()
+    assert digests[True] == digests[False]
+
+
+def test_migration_start_perturbs_and_vetoes():
+    """A live migration mid-run bumps the generation (dropping locked
+    fingerprints) and vetoes workload skipping until it completes."""
+    from repro.core.migration import LiveMigration
+
+    stack = _stack(True, io_model="vp")
+    generation_before = stack.sim.ff.generation
+    migration = LiveMigration(stack.machine, stack.leaf_vm)
+    result = stack.sim.run_process(migration.run(), "migration")
+    assert result.total_s > 0
+    assert stack.sim.ff.generation > generation_before
+    assert stack.sim.ff.invalidations.get("migration", 0) >= 1
+    # The veto lifted once the migration finished.
+    assert stack.machine.ff_migrations == 0
+
+
+def test_mid_epoch_perturbation_drops_fingerprint():
+    """perturb() between observes restarts confirmation from scratch."""
+    from repro.metrics import Metrics
+    from repro.sim import Simulator
+
+    sim = Simulator(fast_forward=True)
+    metrics = Metrics()
+    sim.ff.register_metrics(metrics)
+    skipped = []
+
+    def loop():
+        src = sim.ff.source("unit:loop")
+        left = 60
+        while left > 0:
+            metrics.charge("guest_work", 500)
+            yield 500
+            left -= 1
+            # Perturb early, while the fingerprint is still confirming
+            # (before the first macro-skip can jump the counter past us).
+            if left == 57:
+                sim.ff.perturb("test-cause")
+            if left:
+                n = src.observe(left)
+                skipped.append(n)
+                left -= n
+
+    sim.spawn(loop(), "loop")
+    sim.run()
+    assert sim.ff.invalidations.get("test-cause", 0) == 1
+    # It re-locked and skipped after the perturbation.
+    assert sum(skipped) > 0
+
+
+def test_disabled_simulator_never_skips():
+    stack = _stack(False)
+    run_microbenchmark(stack, "Hypercall", iterations=40)
+    assert stack.sim.ff.enabled is False
+    assert stack.sim.ff.epochs_skipped == 0
+
+
+# ----------------------------------------------------------------------
+# Engine primitives: ff_scan / ff_shift safety rails
+# ----------------------------------------------------------------------
+def test_ff_shift_refuses_pending_work_in_window():
+    from repro.sim import Simulator, SimulationError
+
+    sim = Simulator(fast_forward=True)
+    sim.call_at(1_000, lambda: None)
+    carriers, window = sim.ff_scan(10_000)
+    # The callable is not a Process, so it is a window blocker, not a
+    # carrier.
+    assert carriers == []
+    assert window == 1_000
+    with pytest.raises(SimulationError):
+        sim.ff_shift([], 5_000)
+
+
+def test_ff_scan_reports_runnable_work_as_unsafe():
+    from repro.sim import Simulator
+
+    sim = Simulator(fast_forward=True)
+
+    def proc():
+        yield 1
+
+    sim.spawn(proc(), "p")  # spawn enqueues on the ready deque
+    carriers, window = sim.ff_scan(1_000)
+    assert carriers is None and window is None
