@@ -275,6 +275,56 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_arg(csweep)
     add_seed_arg(csweep)
 
+    dc = sub.add_parser(
+        "dc",
+        help="spine-leaf datacenter: declarative specs, live control "
+        "plane, rolling upgrade waves (repro.dc)",
+    )
+    dsub = dc.add_subparsers(dest="mode", required=True)
+
+    def add_dc_args(p, with_spec=True):
+        if with_spec:
+            p.add_argument(
+                "--spec",
+                default="small",
+                help="built-in spec name (small, fleet) or a path to a "
+                "JSON / YAML-subset spec file",
+            )
+        p.add_argument(
+            "--no-quiescent",
+            action="store_true",
+            help="boot every host's stack eagerly instead of on first "
+            "touch (byte-identical trace; only wall time changes)",
+        )
+        p.add_argument(
+            "--json", action="store_true", help="print machine-readable JSON"
+        )
+        add_seed_arg(p)
+
+    ddemo = dsub.add_parser(
+        "demo",
+        help="run the built-in small fleet: admissions, rebalancing, "
+        "a full rolling-upgrade wave, pinned-host report",
+    )
+    add_dc_args(ddemo, with_spec=False)
+
+    drun = dsub.add_parser("run", help="run a datacenter spec to completion")
+    add_dc_args(drun)
+
+    dsweep = dsub.add_parser(
+        "sweep", help="run one spec across a range of seeds"
+    )
+    dsweep.add_argument(
+        "--seeds", type=int, default=4, help="number of seeds (0..N-1)"
+    )
+    add_jobs_arg(dsweep)
+    add_dc_args(dsweep)
+
+    dval = dsub.add_parser(
+        "validate", help="parse and validate a spec file, print its shape"
+    )
+    dval.add_argument("--spec", default="small", help="spec name or path")
+
     audit = sub.add_parser(
         "audit",
         help="runtime invariant audit: drive the migration/cluster fault "
@@ -404,6 +454,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "cluster":
         return _run_cluster(args)
+
+    if args.command == "dc":
+        return _run_dc(args)
 
     if args.command == "audit":
         from repro.audit.runner import render_audit, run_audit
@@ -659,6 +712,85 @@ def _run_cluster(args) -> int:
         f"{cluster.fabric.metrics.cross_host_bytes('migration'):,}"
     )
     return _finish_audit(auditor)
+
+
+def _run_dc(args) -> int:
+    """The ``dc`` subcommand: spec-driven fleets under a control plane."""
+    import json
+
+    from repro.dc import load_spec, run_dc, run_sweep
+    from repro.dc.spec import SpecError
+
+    try:
+        spec = load_spec(getattr(args, "spec", "small"))
+    except (SpecError, FileNotFoundError) as exc:
+        print(f"spec error: {exc}")
+        return 1
+
+    if args.mode == "validate":
+        print(spec.describe())
+        return 0
+
+    quiescent = not args.no_quiescent
+
+    if args.mode == "sweep":
+        rows = run_sweep(
+            getattr(args, "spec", "small"),
+            seeds=range(args.seeds),
+            jobs=args.jobs,
+            quiescent=quiescent,
+        )
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"{'seed':>4} {'events':>7} {'admitted':>8} {'moves':>6} "
+            f"{'pinned/wave':>14} {'digest':>18}"
+        )
+        for row in rows:
+            print(
+                f"{row['seed']:>4} {row['events']:>7} {row['admitted']:>8} "
+                f"{row['rebalance_moves']:>6} "
+                f"{str(row['pinned_per_wave']):>14} {row['digest'][:16]:>18}"
+            )
+        return 0
+
+    # mode in ("demo", "run"): one fleet, full control-plane lifecycle.
+    dc = run_dc(spec, seed=args.seed, quiescent=quiescent)
+    summary = dc.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    topo = spec.topology
+    print(
+        f"dc {spec.name}: {topo.racks} racks x {topo.hosts_per_rack} hosts, "
+        f"{topo.spines} spines, {topo.oversubscription:g}:1 oversub, "
+        f"policy={spec.control.policy}, seed={args.seed}"
+    )
+    for line in dc.events:
+        print(f"  {line}")
+    control = summary.get("control")
+    if control:
+        print(
+            f"control: {control['admitted']} admitted, "
+            f"{len(control['rejected'])} rejected, "
+            f"{control['rebalance_moves']} rebalance moves, "
+            f"{control['upgraded_total']} hosts upgraded, "
+            f"pinned per wave {control['pinned_per_wave']}"
+        )
+    fabric = summary["fabric"]
+    print(
+        f"fabric: {fabric['frames']} frames, "
+        f"{fabric['migration_bytes']:,} migration bytes, "
+        f"{fabric['net_bytes']:,} net bytes, "
+        f"{fabric.get('trunk_bytes', 0):,} trunk bytes"
+    )
+    print(
+        f"hosts: {summary['hosts_booted']}/{summary['hosts_total']} booted "
+        f"({summary['boots']} boots) "
+        f"(digest {summary['digest'][:16]})"
+    )
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

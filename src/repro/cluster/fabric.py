@@ -88,6 +88,10 @@ class Fabric:
         #: Attached FaultInjector (or None): consulted for partition /
         #: host-loss / bandwidth-collapse windows.
         self.faults = None
+        #: Hosts administratively dark (rebooting for a kernel upgrade):
+        #: their links behave exactly like a host-loss fault window.
+        #: Empty on plain clusters — zero behavior change.
+        self.admin_down: set = set()
         #: Frames dropped because the destination was unknown or lost.
         self.undeliverable = 0
         # Fast-forward: the fabric's counters (cross_host bytes, frame
@@ -124,8 +128,10 @@ class Fabric:
     # ------------------------------------------------------------------
     def link_blocked(self, host: str) -> bool:
         """Is traffic through ``host``'s port currently impossible?
-        True inside a partition window for that host's link or while the
-        host itself is lost."""
+        True inside a partition window for that host's link, while the
+        host itself is lost, or while an operator holds it down."""
+        if host in self.admin_down:
+            return True
         if self.faults is None:
             return False
         return self.faults.fabric_link_down(host) or self.faults.fabric_host_lost(
@@ -224,15 +230,38 @@ class Fabric:
             raise UndeliverableError(f"frame {src} -> {dst} lost in flight")
         return result
 
-    def frame_cycles(self, size: int) -> int:
+    def frame_cycles(
+        self, size: int, src: Optional[str] = None, dst: Optional[str] = None
+    ) -> int:
         """Uncontended cycles for one frame end to end (two
-        serializations + propagation + switch core)."""
+        serializations + propagation + switch core).  ``src``/``dst``
+        are accepted for topology-aware subclasses (a spine-leaf fabric
+        prices cross-rack paths differently); a single ToR ignores them.
+        """
         serialization = int(size * 8 / self.costs.fabric_bps * self.sim.freq_hz)
         return (
             2 * serialization
             + 2 * self.costs.fabric_latency
             + self.costs.fabric_switch_latency
         )
+
+    # ------------------------------------------------------------------
+    # Fast-forward compensation
+    # ------------------------------------------------------------------
+    def ff_precopy_compensate(
+        self, src: str, dst: str, n: int, chunk_bytes: int
+    ) -> None:
+        """A fast-forward macro-event just skipped ``n`` full pre-copy
+        chunks src -> dst.  The fabric's :class:`Metrics` were scaled by
+        the skip machinery; the plain per-port / per-wire tallies along
+        the path are the fabric's to compensate here.  Subclasses with
+        more tiers (spine trunks) extend this."""
+        src_port = self.port(src)
+        dst_port = self.port(dst)
+        src_port.frames["tx"] += n
+        dst_port.frames["rx"] += n
+        src_port.wire.bytes_carried["out"] += n * chunk_bytes
+        dst_port.wire.bytes_carried["in"] += n * chunk_bytes
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:

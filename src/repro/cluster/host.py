@@ -46,6 +46,17 @@ TENANT_PASSTHROUGH = "passthrough"
 
 _TENANT_MODELS = (TENANT_VIRTIO, TENANT_VP, TENANT_PASSTHROUGH)
 
+#: Default steady-state cycle-load capacity a host offers per worker
+#: vCPU.  ``fits`` refuses tenants past this headroom so control-plane
+#: rebalancing cannot thrash tenants onto an already-hot host (the
+#: memory check alone would happily stack them).
+LOAD_PER_WORKER = 12_000
+
+#: Memory of a :class:`~repro.hw.machine.Machine` built with defaults —
+#: what an unbooted (quiescent) host will have once it boots.  Capacity
+#: accounting must not depend on whether the stack is built yet.
+HOST_MEMORY_BYTES = 192 * GB
+
 
 @dataclass(frozen=True, slots=True)
 class TenantSpec:
@@ -118,66 +129,164 @@ class ClusterHost:
         stack_levels: int = 2,
         workers: int = 2,
         seed: int = 0,
+        lazy: bool = False,
+        load_capacity: Optional[int] = None,
     ) -> None:
         self.name = name
-        self.machine = Machine(sim=sim, costs=costs)
         self.guest_hv = guest_hv
         self.seed = seed
-        config = StackConfig(
-            levels=stack_levels,
-            io_model=IO_VIRTIO,
-            guest_hv=guest_hv,
-            workers=workers,
-            flow=f"{name}-sys",
-            seed=seed,
-        )
-        #: The host's booted system stack: L0, the L1 guest hypervisor,
-        #: and the management VMs — the platform tenants land on.
-        self.stack = build_stack(config, machine=self.machine)
+        self._sim = sim
+        self._costs = costs
+        self._stack_levels = stack_levels
         self.tenants: Dict[str, Tenant] = {}
         #: Fabric port, set by the cluster when it attaches this host.
         self.port = None
         #: pCPUs the system stack claimed; tenants share the worker pool
         #: (vCPU overcommit, like a real cloud host).
         self._workers = workers
+        #: Cycle-load admission ceiling (see ``fits``).
+        self.load_capacity = (
+            load_capacity if load_capacity is not None else workers * LOAD_PER_WORKER
+        )
+        #: Capacity reserved for in-flight migrations targeting this
+        #: host (name -> spec): concurrent control-plane migrations
+        #: claim destination room up front so two pre-copies cannot race
+        #: into the same free bytes.  Always empty on the blocking
+        #: orchestrator paths.
+        self._reservations: Dict[str, TenantSpec] = {}
+        #: How many times this host's system stack has been built (a
+        #: quiescent host that never sees a tenant stays at zero).
+        self.boots = 0
+        self.machine: Optional[Machine] = None
+        #: The host's booted system stack: L0, the L1 guest hypervisor,
+        #: and the management VMs — the platform tenants land on.
+        #: ``None`` while the host is quiescent (lazy, pre-first-touch)
+        #: or down for a kernel upgrade.
+        self.stack = None
+        if not lazy:
+            self.boot()
+
+    # ------------------------------------------------------------------
+    # Boot / teardown (the quiescent-host optimization)
+    # ------------------------------------------------------------------
+    @property
+    def booted(self) -> bool:
+        return self.stack is not None
+
+    def boot(self) -> None:
+        """Build the machine and its full system stack.  Idempotent.
+
+        A quiescent host defers this until a tenant, migration, or
+        explicit touch needs the stack; until then it contributes zero
+        engine events and no Metrics to fast-forward fingerprints.
+        Accounting stays byte-identical either way: booting only parks
+        backend processes on events and never draws the shared RNG or
+        writes the cluster trace.
+        """
+        if self.stack is not None:
+            return
+        self.machine = Machine(sim=self._sim, costs=self._costs)
+        config = StackConfig(
+            levels=self._stack_levels,
+            io_model=IO_VIRTIO,
+            guest_hv=self.guest_hv,
+            workers=self._workers,
+            flow=f"{self.name}-sys",
+            seed=self.seed,
+        )
+        self.stack = build_stack(config, machine=self.machine)
+        self.boots += 1
+
+    def ensure_booted(self) -> None:
+        self.boot()
+
+    def shutdown(self) -> None:
+        """Tear the system stack down (the power-off half of a kernel
+        upgrade).  Only a tenant-free host may shut down.  The machine's
+        Metrics and fast-forward veto are unregistered so a fleet of
+        upgraded-and-idle hosts stops contributing to every epoch
+        fingerprint — same invalidation discipline as registration."""
+        if self.tenants:
+            raise ValueError(
+                f"{self.name}: cannot shut down with "
+                f"{len(self.tenants)} tenants aboard"
+            )
+        if self.machine is not None:
+            ff = getattr(self._sim, "ff", None)
+            if ff is not None:
+                ff.unregister_metrics(self.machine.metrics)
+                ff.remove_veto(self.machine._ff_veto)
+        self.machine = None
+        self.stack = None
 
     # ------------------------------------------------------------------
     # Capacity accounting (what placement policies read)
     # ------------------------------------------------------------------
     @property
     def l0(self):
+        self.ensure_booted()
         return self.machine.host_hv
 
     @property
     def guest_hypervisor(self):
         """The L1 guest hypervisor (None on a 1-level host)."""
+        self.ensure_booted()
         return self.stack.hvs[1] if len(self.stack.hvs) > 1 else None
 
     @property
     def mem_total(self) -> int:
-        return self.machine.memory.size_bytes
+        if self.machine is not None:
+            return self.machine.memory.size_bytes
+        return HOST_MEMORY_BYTES
 
     @property
     def mem_committed(self) -> int:
         return sum(t.memory_bytes for t in self.tenants.values())
 
     @property
+    def mem_reserved(self) -> int:
+        return sum(s.memory_gb * GB for s in self._reservations.values())
+
+    @property
     def mem_free(self) -> int:
-        return self.mem_total - self.mem_committed
+        return self.mem_total - self.mem_committed - self.mem_reserved
 
     @property
     def cycle_load(self) -> int:
         """Committed steady-state CPU demand across tenants."""
         return sum(t.spec.load for t in self.tenants.values())
 
+    @property
+    def load_reserved(self) -> int:
+        return sum(s.load for s in self._reservations.values())
+
     def fits(self, spec: TenantSpec) -> bool:
-        return spec.memory_gb * GB <= self.mem_free
+        """Memory AND cycle-load headroom: a tenant must find both its
+        bytes and its steady-state CPU demand free (reservations held by
+        in-flight migrations count as taken)."""
+        if spec.memory_gb * GB > self.mem_free:
+            return False
+        return self.cycle_load + self.load_reserved + spec.load <= self.load_capacity
+
+    # ------------------------------------------------------------------
+    # Migration reservations (async orchestrator paths)
+    # ------------------------------------------------------------------
+    def reserve(self, spec: TenantSpec) -> None:
+        """Hold capacity for an inbound migration of ``spec``."""
+        if spec.name in self._reservations:
+            raise ValueError(f"{spec.name} already reserved on {self.name}")
+        self._reservations[spec.name] = spec
+
+    def release(self, name: str) -> None:
+        """Drop a reservation (migration finished or failed)."""
+        self._reservations.pop(name, None)
 
     # ------------------------------------------------------------------
     # Tenant lifecycle
     # ------------------------------------------------------------------
     def admit(self, spec: TenantSpec) -> Tenant:
         """Create the tenant's VM (and device plumbing) on this host."""
+        self.ensure_booted()
         if spec.name in self.tenants:
             raise ValueError(f"{spec.name} already on {self.name}")
         if not self.fits(spec):

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from repro.cluster.fabric import Fabric, UndeliverableError
+from repro.cluster.placement import PlacementError
 from repro.core.migration import (
     LiveMigration,
     MigrationError,
@@ -70,9 +71,9 @@ class FabricChannel:
         factor = self.fabric.bandwidth_factor()
         effective = nbytes if factor >= 1.0 else int(nbytes / factor)
         full, rest = divmod(effective, self.chunk_bytes)
-        cycles = full * self.fabric.frame_cycles(self.chunk_bytes)
+        cycles = full * self.fabric.frame_cycles(self.chunk_bytes, self.src, self.dst)
         if rest:
-            cycles += self.fabric.frame_cycles(rest)
+            cycles += self.fabric.frame_cycles(rest, self.src, self.dst)
         return max(1, cycles)
 
     def transfer(self, nbytes: int) -> Generator:
@@ -131,15 +132,13 @@ class FabricChannel:
                     if n:
                         # The fabric's Metrics (cross_host bytes, frame
                         # counts) were scaled by the macro-event; the
-                        # plain per-port/per-wire tallies are ours to
-                        # compensate.
+                        # per-port/per-wire tallies along the path are
+                        # the fabric's to compensate (spine-leaf fabrics
+                        # also credit their trunks).
                         sent += n * self.chunk_bytes
-                        src_port = self.fabric.port(self.src)
-                        dst_port = self.fabric.port(self.dst)
-                        src_port.frames["tx"] += n
-                        dst_port.frames["rx"] += n
-                        src_port.wire.bytes_carried["out"] += n * self.chunk_bytes
-                        dst_port.wire.bytes_carried["in"] += n * self.chunk_bytes
+                        self.fabric.ff_precopy_compensate(
+                            self.src, self.dst, n, self.chunk_bytes
+                        )
 
 
 @dataclass
@@ -303,22 +302,44 @@ class Orchestrator:
             round_idx += 1
 
     # ------------------------------------------------------------------
+    # Destination selection
+    # ------------------------------------------------------------------
+    def pick_destination(self, spec, exclude=()) -> "object":
+        """Choose a destination host for ``spec`` through the cluster's
+        placement policy with ``exclude``-named hosts removed from the
+        candidate set (the evacuating host, cordoned or rebooting hosts).
+
+        The policy itself filters hosts that no longer fit — a host that
+        became infeasible mid-wave simply drops out of the ranking
+        rather than being re-ranked and rejected one tenant at a time.
+        Raises :class:`~repro.cluster.placement.PlacementError` when no
+        candidate fits."""
+        excluded = set(exclude)
+        candidates = [h for h in self.cluster.hosts if h.name not in excluded]
+        return self.cluster.policy.choose(candidates, spec)
+
     def evacuate(
-        self, host_name: str, downtime_limit_s: Optional[float] = 0.5
+        self,
+        host_name: str,
+        downtime_limit_s: Optional[float] = 0.5,
+        exclude=(),
     ) -> List[MigrationRecord]:
         """Drain a host for maintenance: migrate every tenant somewhere
-        else by the cluster's placement policy.  Hardware-coupled
-        tenants cannot move — they are recorded and left behind (the
-        operator's problem, exactly as in a real fleet)."""
+        else by the cluster's placement policy, with the evacuating host
+        (and any ``exclude``-named hosts) never considered as a
+        destination.  Hardware-coupled tenants cannot move — they are
+        recorded and left behind (the operator's problem, exactly as in
+        a real fleet)."""
         cluster = self.cluster
         src = cluster.host(host_name)
         records: List[MigrationRecord] = []
         for name in sorted(src.tenants):
             tenant = src.tenants[name]
-            others = [h for h in cluster.hosts if h.name != host_name]
             try:
-                dst = cluster.policy.choose(others, tenant.spec)
-            except Exception as exc:
+                dst = self.pick_destination(
+                    tenant.spec, exclude={host_name, *exclude}
+                )
+            except PlacementError as exc:
                 cluster.log(f"evacuate {name}: no destination ({exc})")
                 continue
             try:
@@ -331,4 +352,183 @@ class Orchestrator:
                 records.append(self.records[-1])
             except MigrationError:
                 records.append(self.records[-1])
+        return records
+
+    # ------------------------------------------------------------------
+    # In-simulation (generator) paths — for control-plane processes
+    # ------------------------------------------------------------------
+    def migrate_async(
+        self,
+        tenant_name: str,
+        dst_host: str,
+        downtime_limit_s: Optional[float] = 0.5,
+        downtime_target_s: float = 0.03,
+        max_attempts: int = 3,
+        attempt_backoff_cycles: int = 2_000_000,
+    ) -> Generator:
+        """Generator twin of :meth:`migrate` for callers that are
+        *themselves* processes on the shared clock (``record = yield
+        from orch.migrate_async(...)``): a control plane cannot call the
+        blocking path, which re-enters ``sim.run()``.
+
+        Unlike the blocking path it never raises into the simulation:
+        "unsupported" and "failed" outcomes are returned as records so
+        one stuck tenant cannot crash the whole fleet run.  Destination
+        capacity is reserved up front — concurrent evacuations in the
+        same upgrade wave cannot race two pre-copies into the same free
+        bytes and then fail at adopt time.
+        """
+        cluster = self.cluster
+        src = cluster.host_of(tenant_name)
+        dst = cluster.host(dst_host)
+        if src.name == dst.name:
+            raise ValueError(f"{tenant_name} is already on {dst.name}")
+        tenant = src.tenants[tenant_name]
+        cluster.log(
+            f"migrate {tenant_name} {src.name}->{dst.name} "
+            f"io={tenant.spec.io_model}"
+        )
+        dst.reserve(tenant.spec)
+        try:
+            attempts = 0
+            carried_retries = 0
+            while True:
+                attempts += 1
+                channel = FabricChannel(cluster.fabric, src.name, dst.name)
+                migration = LiveMigration(
+                    src.machine,
+                    tenant.vm,
+                    devices=tenant.devices,
+                    channel=channel,
+                    downtime_target_s=downtime_target_s,
+                    downtime_limit_s=downtime_limit_s,
+                )
+                status, payload = yield from self._drive_async(migration, tenant)
+                if status == "unsupported":
+                    record = MigrationRecord(
+                        tenant=tenant_name,
+                        src=src.name,
+                        dst=dst.name,
+                        outcome="unsupported",
+                        attempts=attempts,
+                        error=str(payload),
+                    )
+                    self.records.append(record)
+                    cluster.log(f"migrate {tenant_name} unsupported: {payload}")
+                    return record
+                if status == "error":
+                    carried_retries += channel.retries + migration.retries
+                    cluster.fabric.metrics.record_fault("migration_attempt")
+                    if attempts >= max_attempts:
+                        record = MigrationRecord(
+                            tenant=tenant_name,
+                            src=src.name,
+                            dst=dst.name,
+                            outcome="failed",
+                            attempts=attempts,
+                            error=str(payload),
+                        )
+                        self.records.append(record)
+                        cluster.log(
+                            f"migrate {tenant_name} failed after "
+                            f"{attempts} attempts: {payload}"
+                        )
+                        return record
+                    cluster.log(
+                        f"migrate {tenant_name} attempt {attempts} failed "
+                        f"({payload}); backing off"
+                    )
+                    yield attempt_backoff_cycles
+                    continue
+                result = payload
+                break
+        finally:
+            # Released before adopt below — release + adopt run in the
+            # same resume with no yield between them, so the freed
+            # reservation cannot be claimed by a concurrent process.
+            dst.release(tenant_name)
+
+        result.retries += carried_retries
+        src.evict(tenant_name)
+        dst.adopt(tenant)
+        record = MigrationRecord(
+            tenant=tenant_name,
+            src=src.name,
+            dst=dst.name,
+            outcome="ok",
+            attempts=attempts,
+            result=result,
+        )
+        self.records.append(record)
+        cluster.log(
+            f"migrate {tenant_name} ok downtime_ms="
+            f"{result.downtime_s * 1e3:.3f} rounds={result.rounds} "
+            f"bytes={result.bytes_transferred} retries={result.retries} "
+            f"attempts={attempts}"
+        )
+        return record
+
+    def _drive_async(self, migration: LiveMigration, tenant) -> Generator:
+        """Run one attempt from inside the simulation: spawn the
+        migration and the tenant's dirtier, join the migration, report
+        ``("ok", result) | ("unsupported", exc) | ("error", exc)``.
+        Exceptions are folded into the return value — a raise would
+        propagate out of the *caller's* process and tear down the run.
+        """
+        sim = self.cluster.sim
+
+        def guarded() -> Generator:
+            try:
+                result = yield from migration.run()
+            except MigrationNotSupported as exc:
+                return ("unsupported", exc)
+            except MigrationError as exc:
+                return ("error", exc)
+            return ("ok", result)
+
+        proc = sim.spawn(guarded(), name=f"migrate:{tenant.name}")
+        dirtier = sim.spawn(
+            self._dirtier(tenant, proc), name=f"dirtier:{tenant.name}"
+        )
+        try:
+            yield proc
+        finally:
+            dirtier.cancel()
+            audit = getattr(self.cluster, "audit", None)
+            if audit is not None:
+                audit.on_attempt_end(tenant.name, (proc, dirtier))
+        return proc.result
+
+    def evacuate_async(
+        self,
+        host_name: str,
+        downtime_limit_s: Optional[float] = 0.5,
+        exclude=(),
+    ) -> Generator:
+        """Generator twin of :meth:`evacuate` (``records = yield from
+        orch.evacuate_async(...)``), for upgrade waves driven by an
+        in-simulation control plane.  Destinations are re-picked per
+        tenant through the placement policy with the source host and
+        ``exclude`` removed; hosts that filled up mid-wave drop out of
+        the candidate ranking automatically."""
+        cluster = self.cluster
+        src = cluster.host(host_name)
+        records: List[MigrationRecord] = []
+        for name in sorted(src.tenants):
+            if name not in src.tenants:
+                # Moved away (e.g. by a rebalancer) while an earlier
+                # tenant of this wave was mid-flight: nothing to do.
+                continue
+            tenant = src.tenants[name]
+            try:
+                dst = self.pick_destination(
+                    tenant.spec, exclude={host_name, *exclude}
+                )
+            except PlacementError as exc:
+                cluster.log(f"evacuate {name}: no destination ({exc})")
+                continue
+            record = yield from self.migrate_async(
+                name, dst.name, downtime_limit_s=downtime_limit_s
+            )
+            records.append(record)
         return records

@@ -125,8 +125,8 @@ def assign_virtual_device(
     # next level's mappings; the composed result is the shadow table.
     shadow = PageTable(name=f"vp-shadow:{device.name}")
     levels = leaf_vm.level
-    shadow.map_many(
-        zip(pfns, resolve_many_through_chain(leaf_vm, pfns)), Perm.RW
+    shadow.map_many_pairs(
+        pfns, resolve_many_through_chain(leaf_vm, pfns), Perm.RW
     )
     machine.metrics.charge(
         "setup", costs.shadow_iommu_map_page * (levels - 1) * len(pfns)

@@ -1,0 +1,354 @@
+"""The live control plane: admission, rebalancing, rolling upgrades.
+
+A :class:`ControlPlane` is a set of generator processes on the
+datacenter's *simulated* clock — it is part of the experiment, not of
+the harness.  Its program comes from the :class:`~repro.dc.spec.DCSpec`:
+
+* **Admission** — tenants arrive on the spec's schedule and are placed
+  through the cluster placement policies
+  (:meth:`~repro.cluster.orchestrator.Orchestrator.pick_destination`),
+  with cordoned/rebooting hosts excluded.  Arrival parameters (io
+  model, size, load) are drawn from a seeded RNG *up front*, so the
+  whole arrival sequence is fixed by (spec, seed) regardless of how
+  events interleave at runtime.
+* **Rebalancing** — a periodic tick compares the hottest host's cycle
+  load against ``threshold * mean`` and live-migrates its heaviest
+  movable tenant through
+  :meth:`~repro.cluster.orchestrator.Orchestrator.migrate_async`.
+  Paused while an upgrade is in flight (a maintenance window).
+* **Rolling upgrades** — hosts are upgraded in waves of ``wave_size``:
+  cordon, evacuate through the placement policy, reboot (the host's
+  stack is torn down and its fabric link goes dark), readmit.  Hosts
+  still holding tenants after evacuation are **pinned** — with
+  physical-passthrough tenants aboard that is the paper's §3.6
+  asymmetry surfacing as a fleet-capacity metric, reported per wave.
+
+Everything a wave observes lands in :class:`WaveReport`; the per-wave
+pinned-host count is the §3.6 headline number.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Tuple
+
+from repro.cluster.fabric import UndeliverableError
+from repro.cluster.host import TENANT_PASSTHROUGH, TenantSpec
+from repro.cluster.placement import PlacementError
+
+__all__ = ["ControlPlane", "WaveReport"]
+
+
+@dataclass
+class WaveReport:
+    """One rolling-upgrade wave, as the fleet log remembers it."""
+
+    index: int
+    hosts: List[str]
+    upgraded: List[str] = field(default_factory=list)
+    #: (host, reason) for hosts the wave could not clear; reason
+    #: "passthrough" marks the §3.6 pin, "stuck" a failed migration.
+    pinned: List[Tuple[str, str]] = field(default_factory=list)
+    migrations_ok: int = 0
+    migrations_unsupported: int = 0
+    migrations_failed: int = 0
+
+    def as_dict(self) -> Dict:
+        return {
+            "index": self.index,
+            "hosts": list(self.hosts),
+            "upgraded": list(self.upgraded),
+            "pinned": [[h, reason] for h, reason in self.pinned],
+            "migrations_ok": self.migrations_ok,
+            "migrations_unsupported": self.migrations_unsupported,
+            "migrations_failed": self.migrations_failed,
+        }
+
+
+class ControlPlane:
+    """Event-driven fleet management on the simulated clock."""
+
+    def __init__(self, dc) -> None:
+        self.dc = dc
+        spec = dc.spec
+        #: All randomness is drawn HERE, in construction order, from a
+        #: dedicated stream — never from the shared sim RNG (which
+        #: fast-forward fingerprints) and never at runtime (where the
+        #: draw order would depend on event interleaving).
+        rng = random.Random((dc.seed << 16) ^ 0x0D0C5EED)
+        self.horizon = dc.horizon
+        self.arrivals = self._build_arrivals(rng)
+        self.flows = self._build_flows(rng)
+        self.admitted: List[str] = []
+        self.rejected: List[str] = []
+        self.waves: List[WaveReport] = []
+        self.rebalance_ticks = 0
+        self.rebalance_moves = 0
+        #: Hosts held out of placement while their wave runs.
+        self.cordoned: set = set()
+        #: Hosts currently rebooting (links dark).
+        self.down: set = set()
+        self.upgrading = False
+        #: Rebalance migrations currently in flight; upgrade waves wait
+        #: for this to drain so two processes never migrate the same
+        #: tenant (a maintenance window waits out running work).
+        self.rebalance_in_flight = 0
+        self._procs = []
+        dc.control = self
+
+    # ------------------------------------------------------------------
+    # Deterministic schedule construction (all RNG draws happen here)
+    # ------------------------------------------------------------------
+    def _build_arrivals(self, rng: random.Random) -> List[Tuple[int, TenantSpec]]:
+        spec = self.dc.spec.tenants
+        models = sorted(spec.mix)
+        weights = [spec.mix[m] for m in models]
+        out: List[Tuple[int, TenantSpec]] = []
+        for i in range(spec.count):
+            when = self.dc.ms(spec.start_ms + i * spec.interval_ms)
+            io_model = rng.choices(models, weights=weights)[0]
+            out.append(
+                (
+                    when,
+                    TenantSpec(
+                        name=f"t{i}",
+                        io_model=io_model,
+                        memory_gb=rng.choice(spec.memory_gb),
+                        load=rng.randint(spec.load[0], spec.load[1]),
+                        dirty_pages=rng.choice(spec.dirty_pages),
+                    ),
+                )
+            )
+        return out
+
+    def _build_flows(self, rng: random.Random) -> List[Tuple[str, str]]:
+        traffic = self.dc.spec.traffic
+        names = [h.name for h in self.dc.hosts]
+        out: List[Tuple[str, str]] = []
+        if len(names) < 2:
+            return out
+        for _ in range(traffic.flows):
+            src, dst = rng.sample(names, 2)
+            out.append((src, dst))
+        return out
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ControlPlane":
+        """Spawn the control-plane processes; the caller then drives
+        the simulation (``dc.sim.run()``)."""
+        sim = self.dc.sim
+        spec = self.dc.spec
+        self._procs.append(sim.spawn(self._admission(), name="cp:admission"))
+        for i, (src, dst) in enumerate(self.flows):
+            self._procs.append(
+                sim.spawn(self._traffic(src, dst), name=f"cp:flow{i}:{src}->{dst}")
+            )
+        if spec.control.rebalance.enabled:
+            self._procs.append(sim.spawn(self._rebalance(), name="cp:rebalance"))
+        if spec.control.upgrade.enabled:
+            self._procs.append(sim.spawn(self._upgrade(), name="cp:upgrade"))
+        return self
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _admission(self) -> Generator:
+        dc = self.dc
+        for when, tspec in self.arrivals:
+            delay = when - dc.sim.now
+            if delay > 0:
+                yield delay
+            try:
+                host = dc.orchestrator.pick_destination(
+                    tspec, exclude=self.cordoned | self.down
+                )
+            except PlacementError as exc:
+                self.rejected.append(tspec.name)
+                dc.log(f"admit {tspec.name} rejected ({exc})")
+                continue
+            host.admit(tspec)
+            self.admitted.append(tspec.name)
+            dc.log(
+                f"admit {tspec.name} io={tspec.io_model} "
+                f"mem={tspec.memory_gb}GB load={tspec.load} -> {host.name}"
+            )
+
+    # ------------------------------------------------------------------
+    # Background tenant traffic
+    # ------------------------------------------------------------------
+    def _traffic(self, src: str, dst: str) -> Generator:
+        dc = self.dc
+        traffic = dc.spec.traffic
+        chunk = traffic.chunk_kb * 1024
+        gap = max(1, dc.ms(traffic.gap_ms))
+        while dc.sim.now < self.horizon:
+            try:
+                yield from dc.fabric.transfer(src, dst, chunk, kind="net")
+            except UndeliverableError:
+                # Partition window or a rebooting endpoint: back off.
+                yield 4 * gap
+                continue
+            yield gap
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+    def _rebalance(self) -> Generator:
+        dc = self.dc
+        cfg = dc.spec.control.rebalance
+        start = dc.ms(cfg.start_ms)
+        interval = max(1, dc.ms(cfg.interval_ms))
+        if start > 0:
+            yield start
+        while dc.sim.now < self.horizon:
+            if not self.upgrading:
+                yield from self._rebalance_once(cfg)
+            yield interval
+
+    def _rebalance_once(self, cfg) -> Generator:
+        dc = self.dc
+        self.rebalance_ticks += 1
+        eligible = [
+            h
+            for h in dc.hosts
+            if h.name not in self.down and h.name not in self.cordoned
+        ]
+        loaded = [h for h in eligible if h.tenants]
+        if len(eligible) < 2 or not loaded:
+            return
+        mean = sum(h.cycle_load for h in eligible) / len(eligible)
+        hot = max(loaded, key=lambda h: (h.cycle_load, h.name))
+        if mean <= 0 or hot.cycle_load <= cfg.threshold * mean:
+            return
+        movable = [
+            t
+            for t in hot.tenants.values()
+            if t.spec.io_model != TENANT_PASSTHROUGH
+        ]
+        if not movable:
+            return
+        victim = max(movable, key=lambda t: (t.spec.load, t.name))
+        try:
+            dst = dc.orchestrator.pick_destination(
+                victim.spec, exclude={hot.name} | self.cordoned | self.down
+            )
+        except PlacementError:
+            return
+        dc.log(
+            f"rebalance {victim.name} {hot.name}->{dst.name} "
+            f"hot={hot.cycle_load} mean={mean:.0f}"
+        )
+        self.rebalance_in_flight += 1
+        try:
+            record = yield from dc.orchestrator.migrate_async(victim.name, dst.name)
+        finally:
+            self.rebalance_in_flight -= 1
+        if record.outcome == "ok":
+            self.rebalance_moves += 1
+
+    # ------------------------------------------------------------------
+    # Rolling upgrades
+    # ------------------------------------------------------------------
+    def _upgrade(self) -> Generator:
+        dc = self.dc
+        cfg = dc.spec.control.upgrade
+        start = dc.ms(cfg.start_ms)
+        if start > 0:
+            yield start
+        self.upgrading = True
+        # The rebalancer starts no new moves now; wait out any that are
+        # already mid-pre-copy before touching their tenants.
+        while self.rebalance_in_flight:
+            yield max(1, dc.ms(0.05))
+        names = [h.name for h in dc.hosts]
+        wave_size = max(1, cfg.wave_size)
+        for index, base in enumerate(range(0, len(names), wave_size)):
+            wave_hosts = names[base : base + wave_size]
+            report = WaveReport(index=index, hosts=list(wave_hosts))
+            self.cordoned.update(wave_hosts)
+            dc.log(f"wave {index} start hosts={len(wave_hosts)}")
+            procs = [
+                dc.sim.spawn(
+                    self._upgrade_host(name, report), name=f"cp:upgrade:{name}"
+                )
+                for name in wave_hosts
+            ]
+            for proc in procs:
+                yield proc
+            self.cordoned.difference_update(wave_hosts)
+            self.waves.append(report)
+            pinned_names = ",".join(h for h, _ in report.pinned) or "-"
+            dc.log(
+                f"wave {index} done upgraded={len(report.upgraded)} "
+                f"pinned={len(report.pinned)} pinned_hosts=[{pinned_names}] "
+                f"migrations_ok={report.migrations_ok} "
+                f"unsupported={report.migrations_unsupported} "
+                f"failed={report.migrations_failed}"
+            )
+        self.upgrading = False
+        dc.log(
+            f"upgrade complete waves={len(self.waves)} "
+            f"pinned_total={sum(len(w.pinned) for w in self.waves)}"
+        )
+
+    def _upgrade_host(self, name: str, report: WaveReport) -> Generator:
+        dc = self.dc
+        cfg = dc.spec.control.upgrade
+        host = dc.host(name)
+        if host.tenants:
+            records = yield from dc.orchestrator.evacuate_async(
+                name,
+                downtime_limit_s=cfg.downtime_limit_ms * 1e-3,
+                exclude=self.cordoned | self.down,
+            )
+            for rec in records:
+                if rec.outcome == "ok":
+                    report.migrations_ok += 1
+                elif rec.outcome == "unsupported":
+                    report.migrations_unsupported += 1
+                else:
+                    report.migrations_failed += 1
+        if host.tenants:
+            reason = (
+                "passthrough"
+                if any(
+                    t.spec.io_model == TENANT_PASSTHROUGH
+                    for t in host.tenants.values()
+                )
+                else "stuck"
+            )
+            report.pinned.append((name, reason))
+            dc.log(f"host {name} pinned ({reason}) tenants={len(host.tenants)}")
+            return
+        # Clean: take the host dark, swap its kernel, bring it back.
+        was_booted = host.booted
+        self.down.add(name)
+        dc.fabric.admin_down.add(name)
+        if was_booted:
+            host.shutdown()
+        dc.log(f"host {name} rebooting")
+        yield max(1, dc.ms(cfg.reboot_ms))
+        self.down.discard(name)
+        dc.fabric.admin_down.discard(name)
+        if was_booted and not dc.quiescent:
+            # Eager fleets rebuild the stack at readmission; quiescent
+            # fleets defer it to the next touch.  Either way the trace
+            # and fabric bytes are identical — boot emits neither.
+            host.boot()
+        report.upgraded.append(name)
+        dc.log(f"host {name} upgraded")
+
+    # ------------------------------------------------------------------
+    def report(self) -> Dict:
+        """Control-plane observables for the fleet summary."""
+        return {
+            "admitted": len(self.admitted),
+            "rejected": list(self.rejected),
+            "rebalance_ticks": self.rebalance_ticks,
+            "rebalance_moves": self.rebalance_moves,
+            "waves": [w.as_dict() for w in self.waves],
+            "pinned_per_wave": [len(w.pinned) for w in self.waves],
+            "pinned_total": sum(len(w.pinned) for w in self.waves),
+            "upgraded_total": sum(len(w.upgraded) for w in self.waves),
+        }

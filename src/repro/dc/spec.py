@@ -1,0 +1,637 @@
+"""Declarative datacenter specifications — the environment in a file.
+
+A :class:`DCSpec` describes an entire ``repro.dc`` scenario: the
+spine-leaf topology (racks, hosts per rack, spines, oversubscription),
+the host platform, the tenant mix and arrival schedule, background
+traffic, the control-plane program (admission policy, rebalancing
+thresholds, rolling-upgrade waves), and a fault schedule.  Together
+with a seed it determines a run byte for byte — the lago-style
+"environment in a file" idea from the ROADMAP.
+
+Specs are plain JSON or a small YAML subset parsed by
+:func:`parse_simple_yaml` — no third-party dependency.  The subset
+covers what topology files need: nested mappings by 2+-space
+indentation, ``- `` block lists, inline ``[...]`` / ``{...}``
+collections, numbers, booleans, ``null``, quoted and bare strings, and
+``#`` comments.  Anchors, multi-line scalars, and flow-style nesting
+are deliberately out of scope.
+
+The format is versioned (``version: 1``); unknown versions and unknown
+keys are hard errors so a typo fails loudly instead of silently
+running a different experiment.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.host import TENANT_PASSTHROUGH, TENANT_VIRTIO, TENANT_VP
+from repro.cluster.placement import POLICIES
+from repro.faults.plan import FaultClass, FaultPlan, FaultSpec
+
+__all__ = [
+    "SpecError",
+    "parse_simple_yaml",
+    "TopologySpec",
+    "HostSpec",
+    "TenantMixSpec",
+    "TrafficSpec",
+    "RebalanceSpec",
+    "UpgradeSpec",
+    "ControlSpec",
+    "FaultWindowSpec",
+    "DCSpec",
+]
+
+#: The spec format version this parser understands.
+SPEC_VERSION = 1
+
+
+class SpecError(ValueError):
+    """A topology/tenant spec is malformed."""
+
+
+# ======================================================================
+# Minimal YAML-subset parser
+# ======================================================================
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment that is not inside a quoted string."""
+    quote = None
+    for i, ch in enumerate(line):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "#":
+            return line[:i]
+    return line
+
+
+def _scalar(text: str) -> Any:
+    """Parse one scalar (or inline collection) value."""
+    s = text.strip()
+    if s == "" or s == "~" or s == "null":
+        return None
+    if s.startswith("[") and s.endswith("]"):
+        inner = s[1:-1].strip()
+        if not inner:
+            return []
+        return [_scalar(part) for part in _split_inline(inner)]
+    if s.startswith("{") and s.endswith("}"):
+        inner = s[1:-1].strip()
+        out: Dict[str, Any] = {}
+        if not inner:
+            return out
+        for part in _split_inline(inner):
+            if ":" not in part:
+                raise SpecError(f"bad inline mapping entry {part!r}")
+            k, v = part.split(":", 1)
+            out[_scalar(k)] = _scalar(v)
+        return out
+    if (s.startswith('"') and s.endswith('"') and len(s) >= 2) or (
+        s.startswith("'") and s.endswith("'") and len(s) >= 2
+    ):
+        return s[1:-1]
+    if s == "true":
+        return True
+    if s == "false":
+        return False
+    try:
+        return int(s, 10)
+    except ValueError:
+        pass
+    try:
+        return float(s)
+    except ValueError:
+        pass
+    return s
+
+
+def _split_inline(inner: str) -> List[str]:
+    """Split an inline collection body on top-level commas."""
+    parts: List[str] = []
+    depth = 0
+    quote = None
+    cur: List[str] = []
+    for ch in inner:
+        if quote:
+            if ch == quote:
+                quote = None
+            cur.append(ch)
+        elif ch in "'\"":
+            quote = ch
+            cur.append(ch)
+        elif ch in "[{":
+            depth += 1
+            cur.append(ch)
+        elif ch in "]}":
+            depth -= 1
+            cur.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        parts.append("".join(cur))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def parse_simple_yaml(text: str) -> Any:
+    """Parse the YAML subset (see module docstring).  A document whose
+    first non-blank character is ``{`` is treated as JSON."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return json.loads(text)
+    lines: List[Tuple[int, str]] = []
+    for raw in text.splitlines():
+        body = _strip_comment(raw).rstrip()
+        if not body.strip():
+            continue
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise SpecError("tabs are not allowed in indentation")
+        indent = len(body) - len(body.lstrip())
+        lines.append((indent, body.strip()))
+    if not lines:
+        return {}
+    value, nxt = _parse_block(lines, 0, lines[0][0])
+    if nxt != len(lines):
+        raise SpecError(f"trailing content at line entry {nxt}: {lines[nxt][1]!r}")
+    return value
+
+
+def _parse_block(lines: List[Tuple[int, str]], i: int, indent: int) -> Tuple[Any, int]:
+    if lines[i][1].startswith("- ") or lines[i][1] == "-":
+        return _parse_list(lines, i, indent)
+    return _parse_map(lines, i, indent)
+
+
+def _parse_map(lines, i, indent):
+    out: Dict[str, Any] = {}
+    while i < len(lines):
+        ind, content = lines[i]
+        if ind < indent:
+            break
+        if ind > indent:
+            raise SpecError(f"unexpected indentation at {content!r}")
+        if content.startswith("- "):
+            raise SpecError(f"list item where mapping key expected: {content!r}")
+        if ":" not in content:
+            raise SpecError(f"expected 'key: value', got {content!r}")
+        key, rest = content.split(":", 1)
+        key = key.strip()
+        if key in out:
+            raise SpecError(f"duplicate key {key!r}")
+        rest = rest.strip()
+        if rest:
+            out[key] = _scalar(rest)
+            i += 1
+            continue
+        # Block value: child lines indented deeper (or an empty value).
+        i += 1
+        if i < len(lines) and lines[i][0] > indent:
+            out[key], i = _parse_block(lines, i, lines[i][0])
+        else:
+            out[key] = None
+    return out, i
+
+
+def _parse_list(lines, i, indent):
+    out: List[Any] = []
+    while i < len(lines):
+        ind, content = lines[i]
+        if ind < indent or not (content.startswith("- ") or content == "-"):
+            break
+        if ind > indent:
+            raise SpecError(f"unexpected indentation at {content!r}")
+        body = content[2:].strip() if content.startswith("- ") else ""
+        if body and ":" in body and not body.startswith(("[", "{", '"', "'")):
+            # "- key: value": a mapping item; its further keys sit at
+            # the column where `key` starts (indent + 2).
+            item_indent = indent + 2
+            lines[i] = (item_indent, body)
+            item, i = _parse_map(lines, i, item_indent)
+            out.append(item)
+        else:
+            out.append(_scalar(body))
+            i += 1
+    return out, i
+
+
+# ======================================================================
+# Spec dataclasses
+# ======================================================================
+def _take(raw: Optional[Dict], allowed: Dict[str, Any], ctx: str) -> Dict[str, Any]:
+    """Merge ``raw`` over the defaults in ``allowed``, rejecting keys
+    the section does not define (typos must fail loudly)."""
+    out = dict(allowed)
+    if raw is None:
+        return out
+    if not isinstance(raw, dict):
+        raise SpecError(f"{ctx}: expected a mapping, got {type(raw).__name__}")
+    for key, value in raw.items():
+        if key not in allowed:
+            raise SpecError(
+                f"{ctx}: unknown key {key!r} (allowed: {sorted(allowed)})"
+            )
+        out[key] = value
+    return out
+
+
+def _require_pos_int(value, ctx: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise SpecError(f"{ctx}: expected a positive integer, got {value!r}")
+    return value
+
+
+def _require_ms(value, ctx: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value < 0:
+        raise SpecError(f"{ctx}: expected a non-negative time in ms, got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """The physical fabric: racks of hosts behind leaves, spines above."""
+
+    racks: int = 2
+    hosts_per_rack: int = 2
+    spines: int = 2
+    oversubscription: float = 4.0
+
+    @property
+    def num_hosts(self) -> int:
+        return self.racks * self.hosts_per_rack
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """The platform every host boots (when first touched)."""
+
+    guest_hv: str = "kvm"
+    stack_levels: int = 2
+    workers: int = 2
+    #: Cycle-load admission ceiling; None = workers * LOAD_PER_WORKER.
+    load_capacity: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TenantMixSpec:
+    """Tenant arrivals: how many, when, and what they look like.  The
+    per-tenant io model / size / load are drawn from the control plane's
+    seeded RNG, so a (spec, seed) pair fixes every arrival."""
+
+    count: int = 8
+    start_ms: float = 0.5
+    interval_ms: float = 0.8
+    #: io model -> weight (virtio / vp / passthrough).
+    mix: Dict[str, float] = field(
+        default_factory=lambda: {TENANT_VIRTIO: 2, TENANT_VP: 1, TENANT_PASSTHROUGH: 1}
+    )
+    memory_gb: Tuple[int, ...] = (1, 2)
+    #: Inclusive [lo, hi] steady-state cycle-load range.
+    load: Tuple[int, int] = (800, 2000)
+    dirty_pages: Tuple[int, ...] = (32, 64)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Background east-west flows that contend with migration traffic."""
+
+    flows: int = 0
+    chunk_kb: int = 64
+    gap_ms: float = 0.3
+
+
+@dataclass(frozen=True)
+class RebalanceSpec:
+    """Threshold-triggered live-migration rebalancing."""
+
+    enabled: bool = False
+    start_ms: float = 2.0
+    interval_ms: float = 2.0
+    #: Move a tenant when the hottest host exceeds threshold * mean load.
+    threshold: float = 1.6
+
+
+@dataclass(frozen=True)
+class UpgradeSpec:
+    """Rolling kernel-upgrade waves: evacuate, reboot, readmit."""
+
+    enabled: bool = False
+    start_ms: float = 8.0
+    wave_size: int = 4
+    reboot_ms: float = 2.0
+    downtime_limit_ms: float = 500.0
+
+
+@dataclass(frozen=True)
+class ControlSpec:
+    policy: str = "bin-pack"
+    rebalance: RebalanceSpec = field(default_factory=RebalanceSpec)
+    upgrade: UpgradeSpec = field(default_factory=UpgradeSpec)
+
+
+@dataclass(frozen=True)
+class FaultWindowSpec:
+    """One fabric fault window on the wall-clock (ms) schedule."""
+
+    kind: str
+    start_ms: float = 0.0
+    end_ms: Optional[float] = None
+    rate: float = 0.0
+    count: int = 0
+    param: Optional[float] = None
+    targets: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DCSpec:
+    """A complete datacenter scenario."""
+
+    name: str = "dc"
+    version: int = SPEC_VERSION
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    hosts: HostSpec = field(default_factory=HostSpec)
+    tenants: TenantMixSpec = field(default_factory=TenantMixSpec)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    control: ControlSpec = field(default_factory=ControlSpec)
+    faults: Tuple[FaultWindowSpec, ...] = ()
+    #: Open-loop processes (traffic, rebalance ticks) stop past this.
+    horizon_ms: float = 30.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_text(cls, text: str) -> "DCSpec":
+        data = parse_simple_yaml(text)
+        if not isinstance(data, dict):
+            raise SpecError("a spec document must be a mapping")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "DCSpec":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_text(fh.read())
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DCSpec":
+        top = _take(
+            data,
+            {
+                "version": SPEC_VERSION,
+                "name": "dc",
+                "topology": None,
+                "hosts": None,
+                "tenants": None,
+                "traffic": None,
+                "control": None,
+                "faults": None,
+                "horizon_ms": 30.0,
+            },
+            "spec",
+        )
+        if top["version"] != SPEC_VERSION:
+            raise SpecError(
+                f"unsupported spec version {top['version']!r} "
+                f"(this build understands {SPEC_VERSION})"
+            )
+
+        t = _take(
+            top["topology"],
+            {"racks": 2, "hosts_per_rack": 2, "spines": 2, "oversubscription": 4.0},
+            "topology",
+        )
+        topology = TopologySpec(
+            racks=_require_pos_int(t["racks"], "topology.racks"),
+            hosts_per_rack=_require_pos_int(
+                t["hosts_per_rack"], "topology.hosts_per_rack"
+            ),
+            spines=_require_pos_int(t["spines"], "topology.spines"),
+            oversubscription=float(t["oversubscription"]),
+        )
+        if topology.oversubscription <= 0:
+            raise SpecError("topology.oversubscription must be positive")
+
+        h = _take(
+            top["hosts"],
+            {"guest_hv": "kvm", "stack_levels": 2, "workers": 2, "load_capacity": None},
+            "hosts",
+        )
+        hosts = HostSpec(
+            guest_hv=str(h["guest_hv"]),
+            stack_levels=_require_pos_int(h["stack_levels"], "hosts.stack_levels"),
+            workers=_require_pos_int(h["workers"], "hosts.workers"),
+            load_capacity=(
+                None
+                if h["load_capacity"] is None
+                else _require_pos_int(h["load_capacity"], "hosts.load_capacity")
+            ),
+        )
+
+        defaults = TenantMixSpec()
+        tn = _take(
+            top["tenants"],
+            {
+                "count": defaults.count,
+                "start_ms": defaults.start_ms,
+                "interval_ms": defaults.interval_ms,
+                "mix": dict(defaults.mix),
+                "memory_gb": list(defaults.memory_gb),
+                "load": list(defaults.load),
+                "dirty_pages": list(defaults.dirty_pages),
+            },
+            "tenants",
+        )
+        mix = tn["mix"]
+        if not isinstance(mix, dict) or not mix:
+            raise SpecError("tenants.mix must be a non-empty mapping")
+        for model, weight in mix.items():
+            if model not in (TENANT_VIRTIO, TENANT_VP, TENANT_PASSTHROUGH):
+                raise SpecError(f"tenants.mix: unknown io model {model!r}")
+            if isinstance(weight, bool) or not isinstance(weight, (int, float)):
+                raise SpecError(f"tenants.mix[{model!r}]: bad weight {weight!r}")
+            if weight < 0:
+                raise SpecError(f"tenants.mix[{model!r}]: negative weight")
+        if sum(mix.values()) <= 0:
+            raise SpecError("tenants.mix weights sum to zero")
+        memory_gb = tuple(
+            _require_pos_int(g, "tenants.memory_gb") for g in tn["memory_gb"]
+        )
+        if not memory_gb:
+            raise SpecError("tenants.memory_gb must not be empty")
+        load = tn["load"]
+        if (
+            not isinstance(load, (list, tuple))
+            or len(load) != 2
+            or load[0] > load[1]
+            or load[0] < 0
+        ):
+            raise SpecError("tenants.load must be [lo, hi] with 0 <= lo <= hi")
+        dirty = tuple(int(d) for d in tn["dirty_pages"])
+        if not dirty or any(d < 0 for d in dirty):
+            raise SpecError("tenants.dirty_pages must be non-negative")
+        count = tn["count"]
+        if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+            raise SpecError("tenants.count must be >= 0")
+        tenants = TenantMixSpec(
+            count=count,
+            start_ms=_require_ms(tn["start_ms"], "tenants.start_ms"),
+            interval_ms=_require_ms(tn["interval_ms"], "tenants.interval_ms"),
+            mix={k: float(v) for k, v in mix.items()},
+            memory_gb=memory_gb,
+            load=(int(load[0]), int(load[1])),
+            dirty_pages=dirty,
+        )
+
+        tr = _take(
+            top["traffic"], {"flows": 0, "chunk_kb": 64, "gap_ms": 0.3}, "traffic"
+        )
+        traffic = TrafficSpec(
+            flows=int(tr["flows"]),
+            chunk_kb=_require_pos_int(tr["chunk_kb"], "traffic.chunk_kb"),
+            gap_ms=_require_ms(tr["gap_ms"], "traffic.gap_ms"),
+        )
+        if traffic.flows < 0:
+            raise SpecError("traffic.flows must be >= 0")
+
+        c = _take(
+            top["control"],
+            {"policy": "bin-pack", "rebalance": None, "upgrade": None},
+            "control",
+        )
+        if c["policy"] not in POLICIES:
+            raise SpecError(
+                f"control.policy {c['policy']!r} unknown "
+                f"(choose from {sorted(POLICIES)})"
+            )
+        rb = _take(
+            c["rebalance"],
+            {"enabled": False, "start_ms": 2.0, "interval_ms": 2.0, "threshold": 1.6},
+            "control.rebalance",
+        )
+        rebalance = RebalanceSpec(
+            enabled=bool(rb["enabled"]),
+            start_ms=_require_ms(rb["start_ms"], "control.rebalance.start_ms"),
+            interval_ms=_require_ms(
+                rb["interval_ms"], "control.rebalance.interval_ms"
+            ),
+            threshold=float(rb["threshold"]),
+        )
+        if rebalance.threshold < 1.0:
+            raise SpecError("control.rebalance.threshold must be >= 1.0")
+        if rebalance.enabled and rebalance.interval_ms <= 0:
+            raise SpecError("control.rebalance.interval_ms must be positive")
+        up = _take(
+            c["upgrade"],
+            {
+                "enabled": False,
+                "start_ms": 8.0,
+                "wave_size": 4,
+                "reboot_ms": 2.0,
+                "downtime_limit_ms": 500.0,
+            },
+            "control.upgrade",
+        )
+        upgrade = UpgradeSpec(
+            enabled=bool(up["enabled"]),
+            start_ms=_require_ms(up["start_ms"], "control.upgrade.start_ms"),
+            wave_size=_require_pos_int(up["wave_size"], "control.upgrade.wave_size"),
+            reboot_ms=_require_ms(up["reboot_ms"], "control.upgrade.reboot_ms"),
+            downtime_limit_ms=_require_ms(
+                up["downtime_limit_ms"], "control.upgrade.downtime_limit_ms"
+            ),
+        )
+        control = ControlSpec(
+            policy=str(c["policy"]), rebalance=rebalance, upgrade=upgrade
+        )
+
+        fault_windows: List[FaultWindowSpec] = []
+        raw_faults = top["faults"] or []
+        if not isinstance(raw_faults, list):
+            raise SpecError("faults must be a list")
+        for entry in raw_faults:
+            f = _take(
+                entry,
+                {
+                    "kind": None,
+                    "start_ms": 0.0,
+                    "end_ms": None,
+                    "rate": 0.0,
+                    "count": 0,
+                    "param": None,
+                    "targets": [],
+                },
+                "faults[]",
+            )
+            kind = f["kind"]
+            if kind not in FaultClass.FABRIC:
+                raise SpecError(
+                    f"faults[].kind {kind!r} is not a fabric fault class "
+                    f"(choose from {sorted(FaultClass.FABRIC)})"
+                )
+            fault_windows.append(
+                FaultWindowSpec(
+                    kind=kind,
+                    start_ms=_require_ms(f["start_ms"], "faults[].start_ms"),
+                    end_ms=(
+                        None
+                        if f["end_ms"] is None
+                        else _require_ms(f["end_ms"], "faults[].end_ms")
+                    ),
+                    rate=float(f["rate"]),
+                    count=int(f["count"]),
+                    param=None if f["param"] is None else float(f["param"]),
+                    targets=tuple(str(t) for t in (f["targets"] or [])),
+                )
+            )
+
+        horizon_ms = _require_ms(top["horizon_ms"], "horizon_ms")
+        if horizon_ms <= 0:
+            raise SpecError("horizon_ms must be positive")
+
+        return cls(
+            name=str(top["name"]),
+            version=int(top["version"]),
+            topology=topology,
+            hosts=hosts,
+            tenants=tenants,
+            traffic=traffic,
+            control=control,
+            faults=tuple(fault_windows),
+            horizon_ms=horizon_ms,
+        )
+
+    # ------------------------------------------------------------------
+    def fault_plan(self, freq_hz: float) -> Optional[FaultPlan]:
+        """Convert the ms-denominated fault windows into a cycle-
+        denominated :class:`~repro.faults.plan.FaultPlan`."""
+        if not self.faults:
+            return None
+
+        def cycles(ms: float) -> int:
+            return int(ms * 1e-3 * freq_hz)
+
+        specs = [
+            FaultSpec(
+                kind=f.kind,
+                rate=f.rate,
+                count=f.count,
+                start=cycles(f.start_ms),
+                end=None if f.end_ms is None else cycles(f.end_ms),
+                param=f.param,
+                mechanisms=f.targets,
+            )
+            for f in self.faults
+        ]
+        return FaultPlan(specs)
+
+    def describe(self) -> str:
+        t = self.topology
+        return (
+            f"{self.name} v{self.version}: {t.racks}x{t.hosts_per_rack} hosts, "
+            f"{t.spines} spines, oversub {t.oversubscription:g}, "
+            f"{self.tenants.count} tenants, policy {self.control.policy}"
+        )

@@ -92,15 +92,10 @@ def resolve_many_through_chain(leaf_vm, pfns: Iterable[int]) -> List[int]:
     vm = leaf_vm
     while vm is not None:
         ptes = vm.ept.lookup_many(current)
-        nxt: List[int] = []
-        append = nxt.append
-        for pfn, pte in zip(current, ptes):
-            if pte is None:
-                raise KeyError(
-                    f"{vm.name}: pfn {pfn:#x} not mapped in its EPT"
-                )
-            append(pte.target_pfn)
-        current = nxt
+        if None in ptes:
+            pfn = current[ptes.index(None)]
+            raise KeyError(f"{vm.name}: pfn {pfn:#x} not mapped in its EPT")
+        current = [pte.target_pfn for pte in ptes]
         vm = vm.manager.vm if vm.manager is not None else None
     return current
 

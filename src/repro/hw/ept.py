@@ -178,45 +178,90 @@ class PageTable:
             node[leaf] = Pte(target_pfn, perm)
         self._count += added
 
+    def map_many_pairs(
+        self, pfns: List[int], targets: List[int], perm: Perm = Perm.RWX
+    ) -> None:
+        """:meth:`map_many` over parallel ``pfns`` / ``targets`` lists:
+        leaf-node runs are found by scanning the pfn list alone and each
+        run lands in one bulk dict update — the fast path for building
+        shadow tables over the (sorted) DMA pool."""
+        if perm == Perm.NONE:
+            raise ValueError("cannot map with empty permissions")
+        if len(pfns) != len(targets):
+            raise ValueError("pfns and targets must have the same length")
+        i, n = 0, len(pfns)
+        while i < n:
+            pfn0 = pfns[i]
+            hi = pfn0 >> _S1
+            j = i + 1
+            while j < n and (pfns[j] >> _S1) == hi:
+                j += 1
+            node = self._leaf_node(pfn0)
+            before = len(node)
+            node.update(
+                {
+                    p & _MASK: Pte(t, perm)
+                    for p, t in zip(pfns[i:j], targets[i:j])
+                }
+            )
+            self._count += len(node) - before
+            i = j
+
     def map_many_if_absent(self, pfns, delta: int, perm: Perm = Perm.RWX) -> int:
         """Map ``pfn -> pfn + delta`` for every pfn without an entry yet
         (existing entries are kept); returns how many were added.  Same
-        leaf-node amortization as :meth:`map_many`."""
+        leaf-node run batching as :meth:`map_many`, with a bulk path for
+        the common fresh-node case."""
         if perm == Perm.NONE:
             raise ValueError("cannot map with empty permissions")
-        prev_hi = -1
-        node: Dict[int, Pte] = {}
+        pfns = pfns if isinstance(pfns, list) else list(pfns)
         added = 0
-        for pfn in pfns:
-            hi = pfn >> _S1
-            if hi != prev_hi:
-                node = self._leaf_node(pfn)
-                prev_hi = hi
-            leaf = pfn & _MASK
-            if leaf not in node:
-                node[leaf] = Pte(pfn + delta, perm)
-                added += 1
+        i, n = 0, len(pfns)
+        while i < n:
+            pfn0 = pfns[i]
+            hi = pfn0 >> _S1
+            j = i + 1
+            while j < n and (pfns[j] >> _S1) == hi:
+                j += 1
+            node = self._leaf_node(pfn0)
+            if node:
+                for pfn in pfns[i:j]:
+                    leaf = pfn & _MASK
+                    if leaf not in node:
+                        node[leaf] = Pte(pfn + delta, perm)
+                        added += 1
+            else:
+                node.update({p & _MASK: Pte(p + delta, perm) for p in pfns[i:j]})
+                added += len(node)
+            i = j
         self._count += added
         return added
 
     def lookup_many(self, pfns) -> "List[Optional[Pte]]":
-        """Batch :meth:`lookup` with the leaf node cached across
-        consecutive pfns that share it."""
+        """Batch :meth:`lookup` with one walk per run of pfns sharing a
+        leaf node and a bulk gather per run."""
+        pfns = pfns if isinstance(pfns, list) else list(pfns)
         out: List[Optional[Pte]] = []
-        append = out.append
+        extend = out.extend
         root = self._root
-        prev_hi = -1
-        node: Optional[Dict[int, Pte]] = None
-        for pfn in pfns:
-            hi = pfn >> _S1
-            if hi != prev_hi:
-                node = root.get((pfn >> _S3) & _MASK)
+        i, n = 0, len(pfns)
+        while i < n:
+            pfn0 = pfns[i]
+            hi = pfn0 >> _S1
+            j = i + 1
+            while j < n and (pfns[j] >> _S1) == hi:
+                j += 1
+            node = root.get((pfn0 >> _S3) & _MASK)
+            if node is not None:
+                node = node.get((pfn0 >> _S2) & _MASK)
                 if node is not None:
-                    node = node.get((pfn >> _S2) & _MASK)
-                    if node is not None:
-                        node = node.get((pfn >> _S1) & _MASK)
-                prev_hi = hi
-            append(node.get(pfn & _MASK) if node is not None else None)
+                    node = node.get(hi & _MASK)
+            if node is None:
+                extend([None] * (j - i))
+            else:
+                get = node.get
+                extend([get(p & _MASK) for p in pfns[i:j]])
+            i = j
         return out
 
     def unmap(self, pfn: int) -> bool:

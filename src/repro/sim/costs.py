@@ -195,6 +195,16 @@ class CostModel:
     fabric_switch_latency: int = 700
 
     # ------------------------------------------------------------------
+    # Spine tier (repro.dc spine-leaf fabrics)
+    # ------------------------------------------------------------------
+    #: One-way leaf<->spine trunk propagation latency in cycles (longer
+    #: runs between rows, ~1.2 us at 2.2 GHz).
+    spine_latency: int = 2_600
+    #: Store-and-forward latency through a spine switching core, in
+    #: cycles (bigger crossbar than a ToR).
+    spine_switch_latency: int = 900
+
+    # ------------------------------------------------------------------
     # Derived helpers
     # ------------------------------------------------------------------
     def l0_roundtrip(self, handler: int = 0) -> int:

@@ -444,10 +444,28 @@ class FastForward:
         if metrics not in self._metrics:
             self._metrics.append(metrics)
 
+    def unregister_metrics(self, metrics) -> None:
+        """Forget a previously registered :class:`Metrics` object (a
+        cluster host being torn down for a kernel upgrade).  Any cached
+        fingerprints are invalidated: their per-metrics deltas indexed
+        the old registration list."""
+        if metrics in self._metrics:
+            self._metrics.remove(metrics)
+            self.invalidate("metrics_unregistered")
+
     def add_veto(self, veto: Callable[[], Optional[str]]) -> None:
         """Register a veto callback: return a cause string while
         skipping must be refused (observer attached), None otherwise."""
         self._vetoes.append(veto)
+
+    def remove_veto(self, veto: Callable[[], Optional[str]]) -> None:
+        """Drop a veto callback added by :meth:`add_veto` (host
+        teardown).  Unknown callbacks are ignored — teardown paths may
+        run before a machine ever registered."""
+        try:
+            self._vetoes.remove(veto)
+        except ValueError:
+            pass
 
     def source(
         self,

@@ -176,3 +176,33 @@ def test_migrate_to_same_host_rejected():
     cluster.place(TenantSpec(name="t", io_model="vp", memory_gb=8))
     with pytest.raises(ValueError, match="already on"):
         cluster.migrate("t", cluster.host_of("t").name)
+
+
+def test_bin_pack_evacuation_never_picks_the_source():
+    """Regression: evacuate used to hand bin-pack the full host list,
+    and bin-pack ranks the fullest host first — the host being drained.
+    Destinations must come from the placement policy with the source
+    excluded."""
+    cluster = Cluster(num_hosts=3, seed=0, policy="bin-pack")
+    # Bin-pack consolidates: all tenants land on one host.
+    for i in range(3):
+        cluster.place(TenantSpec(name=f"t{i}", io_model="vp", memory_gb=8))
+    src = cluster.host_of("t0")
+    assert all(cluster.host_of(f"t{i}").name == src.name for i in range(3))
+    records = cluster.orchestrator.evacuate(src.name)
+    assert len(records) == 3
+    for record in records:
+        assert record.outcome == "ok"
+        assert record.dst != src.name
+        assert cluster.host_of(record.tenant).name == record.dst
+    assert cluster.host(src.name).tenants == {}
+
+
+def test_evacuate_respects_extra_excludes():
+    cluster = Cluster(num_hosts=3, seed=0, policy="spread")
+    cluster.place(TenantSpec(name="t", io_model="vp", memory_gb=8))
+    src = cluster.host_of("t")
+    others = [h.name for h in cluster.hosts if h.name != src.name]
+    records = cluster.orchestrator.evacuate(src.name, exclude={others[0]})
+    assert records[0].outcome == "ok"
+    assert records[0].dst == others[1]

@@ -1,0 +1,160 @@
+"""The declarative spec format: YAML-subset parser, validation, errors."""
+
+import json
+
+import pytest
+
+from repro.dc import BUILTIN_SPECS, DCSpec, SpecError, parse_simple_yaml
+from repro.dc.spec import SPEC_VERSION
+
+
+# ----------------------------------------------------------------------
+# Parser: the YAML subset
+# ----------------------------------------------------------------------
+def test_scalars_and_nesting():
+    doc = parse_simple_yaml(
+        "a: 1\n"
+        "b: 2.5\n"
+        "c: true\n"
+        "d: false\n"
+        "e: null\n"
+        "f: hello\n"
+        "g: 'quoted: colon'\n"
+        "nested:\n"
+        "  x: 1\n"
+        "  deeper:\n"
+        "    y: -3\n"
+    )
+    assert doc == {
+        "a": 1,
+        "b": 2.5,
+        "c": True,
+        "d": False,
+        "e": None,
+        "f": "hello",
+        "g": "quoted: colon",
+        "nested": {"x": 1, "deeper": {"y": -3}},
+    }
+
+
+def test_inline_lists_and_maps():
+    doc = parse_simple_yaml("mix: {virtio: 2, vp: 1}\nrange: [1, 2]\n")
+    assert doc == {"mix": {"virtio": 2, "vp": 1}, "range": [1, 2]}
+
+
+def test_block_lists_of_mappings():
+    doc = parse_simple_yaml(
+        "faults:\n"
+        "  - kind: fabric_partition\n"
+        "    start_ms: 1.0\n"
+        "  - kind: fabric_degrade\n"
+    )
+    assert doc["faults"] == [
+        {"kind": "fabric_partition", "start_ms": 1.0},
+        {"kind": "fabric_degrade"},
+    ]
+
+
+def test_comments_stripped_outside_quotes():
+    doc = parse_simple_yaml("a: 1  # trailing\n# full line\nb: 'keep # this'\n")
+    assert doc == {"a": 1, "b": "keep # this"}
+
+
+def test_json_documents_pass_through():
+    doc = parse_simple_yaml(json.dumps({"a": [1, 2], "b": {"c": 3}}))
+    assert doc == {"a": [1, 2], "b": {"c": 3}}
+
+
+def test_tabs_rejected():
+    with pytest.raises(SpecError, match="tabs"):
+        parse_simple_yaml("a:\n\tb: 1\n")
+
+
+def test_duplicate_keys_rejected():
+    with pytest.raises(SpecError, match="duplicate key"):
+        parse_simple_yaml("a: 1\na: 2\n")
+
+
+# ----------------------------------------------------------------------
+# DCSpec validation
+# ----------------------------------------------------------------------
+def test_builtin_specs_parse_and_describe():
+    for name, text in BUILTIN_SPECS.items():
+        spec = DCSpec.from_text(text)
+        assert spec.name == name
+        assert spec.version == SPEC_VERSION
+        assert spec.topology.num_hosts >= 6
+        assert name in spec.describe()
+
+
+def test_minimal_spec_uses_defaults():
+    spec = DCSpec.from_text("name: tiny\n")
+    assert spec.topology.racks >= 1
+    assert spec.control.policy == "bin-pack"
+    assert not spec.control.upgrade.enabled
+
+
+def test_unknown_top_level_key_rejected():
+    with pytest.raises(SpecError, match="unknown key 'topologie'"):
+        DCSpec.from_text("topologie:\n  racks: 2\n")
+
+
+def test_unknown_section_key_rejected():
+    with pytest.raises(SpecError, match="unknown key"):
+        DCSpec.from_text("topology:\n  rackz: 2\n")
+
+
+def test_wrong_version_rejected():
+    with pytest.raises(SpecError, match="unsupported spec version"):
+        DCSpec.from_text(f"version: {SPEC_VERSION + 1}\n")
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(SpecError):
+        DCSpec.from_text("control:\n  policy: round-robin\n")
+
+
+def test_unknown_io_model_in_mix_rejected():
+    with pytest.raises(SpecError, match="unknown io model"):
+        DCSpec.from_text("tenants:\n  mix: {scsi: 1}\n")
+
+
+def test_non_fabric_fault_kind_rejected():
+    with pytest.raises(SpecError, match="not a fabric fault class"):
+        DCSpec.from_text("faults:\n  - kind: vcpu_stall\n")
+
+
+def test_fabric_fault_window_accepted():
+    spec = DCSpec.from_text(
+        "faults:\n"
+        "  - kind: fabric_degrade\n"
+        "    start_ms: 1.0\n"
+        "    end_ms: 5.0\n"
+        "    rate: 0.5\n"
+        "    param: 4\n"
+    )
+    assert spec.faults[0].kind == "fabric_degrade"
+    plan = spec.fault_plan(freq_hz=1e9)
+    assert plan is not None and not plan.is_empty
+
+
+def test_spec_document_must_be_mapping():
+    with pytest.raises(SpecError):
+        DCSpec.from_text("[1, 2]")
+    with pytest.raises(SpecError, match="expected a mapping"):
+        DCSpec.from_dict([1, 2])
+
+
+def test_json_spec_round_trips():
+    spec = DCSpec.from_text(
+        json.dumps(
+            {
+                "name": "jsonspec",
+                "topology": {"racks": 3, "hosts_per_rack": 4, "spines": 2},
+                "tenants": {"count": 2, "mix": {"vp": 1}},
+            }
+        )
+    )
+    assert spec.name == "jsonspec"
+    assert spec.topology.num_hosts == 12
+    assert spec.tenants.mix == {"vp": 1}
