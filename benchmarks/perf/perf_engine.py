@@ -106,11 +106,62 @@ def bench_periodic_phase(epochs: int = 200_000, period: int = 1_000) -> Dict[str
     return s
 
 
+def bench_request_capture(txns: int = 600) -> Dict[str, float]:
+    """Zero-cost-when-off guard for per-request latency capture.
+
+    Runs the same request/response workload with capture off (the
+    default: ``machine.request_capture is None``, so every observation
+    site is one attribute load and an ``is None`` test) and with
+    histogram capture on.  Fast-forward is disabled so every request is
+    actually simulated.  The modes run interleaved three times and the
+    fastest wall time per mode wins (min-of-N discards scheduler and
+    allocator noise); the check asserts the off path is not slower than
+    the on path beyond noise — if capture-off ever pays for the
+    feature, this trips."""
+    from dataclasses import replace
+    from time import perf_counter
+
+    from repro.core.features import DvhFeatures
+    from repro.hv.stack import StackConfig, build_stack
+    from repro.workloads.apps import NETPERF_RR
+    from repro.workloads.engines import run_rr
+
+    spec = replace(NETPERF_RR, txns=txns)
+
+    def one(capture: bool) -> float:
+        stack = build_stack(
+            StackConfig(
+                levels=2,
+                io_model="vp",
+                dvh=DvhFeatures.full(),
+                fast_forward=False,
+            )
+        )
+        if capture:
+            stack.machine.enable_request_capture(series="bench")
+        t0 = perf_counter()
+        run_rr(stack, spec)
+        return perf_counter() - t0
+
+    off = on = float("inf")
+    for _ in range(3):
+        off = min(off, one(False))
+        on = min(on, one(True))
+    return {
+        "txns": float(txns),
+        "off_wall_s": off,
+        "on_wall_s": on,
+        "off_txns_per_host_s": txns / off if off > 0 else 0.0,
+        "off_over_on": off / on if on > 0 else 0.0,
+    }
+
+
 def run_benchmarks() -> Dict[str, Dict[str, float]]:
     return {
         "ping_pong": bench_ping_pong(),
         "delay_chain": bench_delay_chain(),
         "periodic_phase": bench_periodic_phase(),
+        "request_capture": bench_request_capture(),
         "host": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
@@ -158,6 +209,13 @@ def main(argv=None) -> int:
         f"in {pp['last_run_wall_s']:.3f}s = "
         f"{pp['epochs_per_host_s']:>12,.0f} epochs/s"
     )
+    rc = results["request_capture"]
+    print(
+        f"{'req_capture':14s} {rc['txns']:>10,.0f} txns "
+        f"off {rc['off_wall_s']:.3f}s on {rc['on_wall_s']:.3f}s "
+        f"(off/on {rc['off_over_on']:.2f}) = "
+        f"{rc['off_txns_per_host_s']:>12,.0f} txns/s capture-off"
+    )
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(results, fh, indent=2, sort_keys=True)
@@ -183,6 +241,18 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: periodic phase skipped only "
                 f"{pe['ff_epochs_skipped']:,.0f} of {pe['epochs']:,.0f} epochs",
+                file=sys.stderr,
+            )
+            return 1
+        # Latency capture must be zero-cost when off: the default path
+        # (request_capture is None) may not run slower than the
+        # capture-on path beyond host noise.
+        rc = results["request_capture"]
+        if rc["off_over_on"] > 1.4:
+            print(
+                f"FAIL: capture-off request path "
+                f"{rc['off_over_on']:.2f}x slower than capture-on "
+                f"({rc['off_wall_s']:.3f}s vs {rc['on_wall_s']:.3f}s)",
                 file=sys.stderr,
             )
             return 1

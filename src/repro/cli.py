@@ -117,11 +117,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dvh", default="none", choices=sorted(DVH_PRESETS))
         p.add_argument("--guest-hv", default="kvm", choices=["kvm", "xen"])
 
+    def add_slo_arg(p):
+        p.add_argument(
+            "--slo",
+            action="store_true",
+            help="capture per-request latency histograms (zero-cost when "
+            "off) and print the percentile table",
+        )
+
     micro = sub.add_parser("micro", help="one Table 1 microbenchmark")
     micro.add_argument("name", choices=sorted(MICROBENCHMARKS))
     micro.add_argument("--iterations", type=int, default=30)
     add_stack_args(micro)
     add_audit_arg(micro)
+    add_slo_arg(micro)
     add_seed_arg(micro)
 
     trace = sub.add_parser(
@@ -168,8 +177,23 @@ def build_parser() -> argparse.ArgumentParser:
     app.add_argument(
         "--report", action="store_true", help="print the exit/cycle report"
     )
+    app.add_argument(
+        "--arrival",
+        default="closed",
+        choices=["closed", "poisson"],
+        help="client arrival process for request/response apps: closed "
+        "loop (default) or open-loop Poisson at --offered tps",
+    )
+    app.add_argument(
+        "--offered",
+        type=float,
+        default=0.0,
+        metavar="TPS",
+        help="offered transactions/second for --arrival poisson",
+    )
     add_stack_args(app)
     add_audit_arg(app)
+    add_slo_arg(app)
     add_seed_arg(app)
 
     faults = sub.add_parser(
@@ -248,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
         "demo", help="boot a cluster, place a fleet, evacuate a host"
     )
     cdemo.add_argument("--tenants", type=int, default=6)
+    add_slo_arg(cdemo)
     add_cluster_args(cdemo)
 
     cmig = csub.add_parser(
@@ -287,8 +312,8 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--spec",
                 default="small",
-                help="built-in spec name (small, fleet) or a path to a "
-                "JSON / YAML-subset spec file",
+                help="built-in spec name (small, fleet, slo) or a path to "
+                "a JSON / YAML-subset spec file",
             )
         p.add_argument(
             "--no-quiescent",
@@ -298,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--json", action="store_true", help="print machine-readable JSON"
+        )
+        p.add_argument(
+            "--slo",
+            action="store_true",
+            help="force-enable latency telemetry and the SLO gate even "
+            "when the spec's slo: block is absent or disabled",
         )
         add_seed_arg(p)
 
@@ -324,6 +355,25 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="parse and validate a spec file, print its shape"
     )
     dval.add_argument("--spec", default="small", help="spec name or path")
+
+    slo = sub.add_parser(
+        "slo",
+        help="the tail-latency headline study: noisy neighbours, "
+        "SLO-gated live migration, fabric degradation, and the "
+        "virtio/vp/passthrough percentile table (repro.dc 'slo' spec)",
+    )
+    slo.add_argument(
+        "--spec",
+        default="slo",
+        help="spec name or path (default: the built-in 'slo' study)",
+    )
+    slo.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON"
+    )
+    slo.add_argument(
+        "--trace", action="store_true", help="print the full event trace"
+    )
+    add_seed_arg(slo)
 
     audit = sub.add_parser(
         "audit",
@@ -432,11 +482,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         auditor = _make_auditor(args)
         if auditor is not None:
             auditor.attach_stack(stack)
+        if args.slo:
+            stack.machine.enable_request_capture(series=args.name)
         cycles = run_microbenchmark(stack, args.name, args.iterations)
         print(
             f"{args.name} (levels={args.levels}, dvh={args.dvh}): "
             f"{cycles:,.0f} cycles/op"
         )
+        if args.slo:
+            from repro.metrics.report import latency_report
+
+            print()
+            print(latency_report(stack.metrics, stack.machine.freq_hz))
         return _finish_audit(auditor)
 
     if args.command == "trace":
@@ -458,6 +515,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "dc":
         return _run_dc(args)
 
+    if args.command == "slo":
+        return _run_slo(args)
+
     if args.command == "audit":
         from repro.audit.runner import render_audit, run_audit
 
@@ -470,12 +530,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         auditor = _make_auditor(args)
         if auditor is not None:
             auditor.attach_stack(stack)
-        result = run_app(stack, args.name, scale=args.scale)
+        if args.slo:
+            stack.machine.enable_request_capture(series=args.name)
+        try:
+            result = run_app(
+                stack,
+                args.name,
+                scale=args.scale,
+                arrival=args.arrival,
+                offered_tps=args.offered,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 1
+        arrival = f", arrival={args.arrival}" if args.arrival != "closed" else ""
         print(
             f"{args.name} (levels={args.levels}, io={stack.config.io_model}, "
-            f"dvh={args.dvh}): {result.value:,.1f} {result.unit} "
+            f"dvh={args.dvh}{arrival}): {result.value:,.1f} {result.unit} "
             f"over {result.txns} transactions in {result.elapsed_s * 1000:.2f} ms"
         )
+        if args.slo and not args.report:
+            from repro.metrics.report import latency_report
+
+            print()
+            print(latency_report(stack.metrics, stack.machine.freq_hz))
         if args.report:
             from repro.metrics.report import full_report
 
@@ -590,6 +668,44 @@ def _cluster_fault_plan(args):
     return FaultPlan.random(args.seed, classes=args.faults, max_classes=2)
 
 
+def _print_percentiles(table, freq_hz: Optional[int] = None) -> None:
+    """Render a tenant percentile table (see
+    repro.cluster.telemetry.percentile_table) sorted worst-p99 first."""
+    if not table:
+        print("tenant percentiles: (no latency samples)")
+        return
+    with_slo = any("objective_cycles" in row for row in table.values())
+    header = (
+        f"{'tenant':<8} {'io':<12} {'samples':>7} {'mean cy':>10} "
+        f"{'p50 cy':>10} {'p99 cy':>10} {'p99.9 cy':>10}"
+    )
+    if with_slo:
+        header += f" {'objective':>10} {'viol':>6}"
+    if freq_hz:
+        header += f" {'p99':>10}"
+    print("tenant percentiles (worst p99 first):")
+    print(header)
+    rows = sorted(
+        table.items(), key=lambda kv: (-kv[1]["p99_cycles"], kv[0])
+    )
+    for name, row in rows:
+        line = (
+            f"{name:<8} {row['io_model'] or '-':<12} {row['samples']:>7} "
+            f"{row['mean_cycles']:>10,} {row['p50_cycles']:>10,} "
+            f"{row['p99_cycles']:>10,} {row['p999_cycles']:>10,}"
+        )
+        if with_slo:
+            obj = row.get("objective_cycles")
+            line += (
+                f" {obj:>10,} {row.get('violations', 0):>6}"
+                if obj
+                else f" {'-':>10} {'-':>6}"
+            )
+        if freq_hz:
+            line += f" {row['p99_cycles'] / freq_hz * 1e6:>7.1f} us"
+        print(line)
+
+
 def _run_cluster(args) -> int:
     """The ``cluster`` subcommand: demo, single migration, policy sweep."""
     import json
@@ -625,6 +741,7 @@ def _run_cluster(args) -> int:
             policy=args.policy,
             fault_plan=_cluster_fault_plan(args),
             audit=args.audit,
+            slo=args.slo,
         )
         audit = summary.get("audit")
         if args.json:
@@ -649,6 +766,9 @@ def _run_cluster(args) -> int:
             f"migrations: {len(moved)} ok, {len(stuck)} refused/failed "
             f"(digest {summary['digest'][:16]})"
         )
+        if args.slo:
+            print()
+            _print_percentiles(summary.get("tenant_percentiles", {}))
         if audit is not None:
             print(
                 f"audit: {audit['checks_run']} checks, "
@@ -731,6 +851,14 @@ def _run_dc(args) -> int:
         print(spec.describe())
         return 0
 
+    if getattr(args, "slo", False) and not spec.slo.enabled:
+        # Force-enable latency telemetry and the gate with the spec's
+        # slo: block values (or SloSpec defaults when absent).  Same
+        # deterministic path as a spec that says enabled: true.
+        from dataclasses import replace as _replace
+
+        spec = _replace(spec, slo=_replace(spec.slo, enabled=True))
+
     quiescent = not args.no_quiescent
 
     if args.mode == "sweep":
@@ -778,6 +906,12 @@ def _run_dc(args) -> int:
             f"{control['upgraded_total']} hosts upgraded, "
             f"pinned per wave {control['pinned_per_wave']}"
         )
+        slo = control.get("slo")
+        if slo:
+            print(
+                f"slo gate: {slo['ticks']} ticks, {slo['samples']} samples, "
+                f"{slo['breaches']} breaches, {slo['migrations']} migrations"
+            )
     fabric = summary["fabric"]
     print(
         f"fabric: {fabric['frames']} frames, "
@@ -790,6 +924,66 @@ def _run_dc(args) -> int:
         f"({summary['boots']} boots) "
         f"(digest {summary['digest'][:16]})"
     )
+    if summary.get("tenant_percentiles"):
+        print()
+        _print_percentiles(summary["tenant_percentiles"], freq_hz=dc.sim.freq_hz)
+    return 0
+
+
+def _run_slo(args) -> int:
+    """The ``slo`` subcommand: the tail-latency headline study.
+
+    Runs the built-in ``slo`` datacenter spec (or any spec given via
+    ``--spec``, with telemetry force-enabled) and renders the story the
+    per-run aggregates could not tell: per-tenant percentile tables,
+    SLO-gate decisions (migrate / pinned / no-target), and the
+    brownout/degradation windows in the event trace."""
+    import json
+    from collections import Counter
+    from dataclasses import replace as _replace
+
+    from repro.dc import load_spec, run_dc
+    from repro.dc.spec import SpecError
+
+    try:
+        spec = load_spec(args.spec)
+    except (SpecError, FileNotFoundError) as exc:
+        print(f"spec error: {exc}")
+        return 1
+    if not spec.slo.enabled:
+        spec = _replace(spec, slo=_replace(spec.slo, enabled=True))
+
+    dc = run_dc(spec, seed=args.seed)
+    summary = dc.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+
+    cfg = spec.slo
+    print(
+        f"slo study: spec={spec.name} seed={args.seed} "
+        f"sample={cfg.sample_ms:g}ms gate every {cfg.gate_interval_ms:g}ms "
+        f"from {cfg.gate_start_ms:g}ms, default p99 objective "
+        f"{cfg.objective_p99_ms:g}ms"
+    )
+    if args.trace:
+        for line in dc.events:
+            print(f"  {line}")
+    control = summary["control"]
+    slo = control["slo"]
+    print(
+        f"slo gate: {slo['ticks']} telemetry ticks, {slo['samples']} samples, "
+        f"{slo['breaches']} breaches, {slo['migrations']} gate migrations"
+    )
+    actions = Counter(
+        (r["io_model"], r["action"]) for r in slo["reports"]
+    )
+    for (io_model, action), n in sorted(actions.items()):
+        print(f"  {io_model:<12} {action:<10} x{n}")
+    print()
+    _print_percentiles(summary["tenant_percentiles"], freq_hz=dc.sim.freq_hz)
+    print()
+    print(f"digest {summary['digest'][:16]} (byte-identical per seed)")
     return 0
 
 

@@ -50,6 +50,11 @@ def standard_tenants(count: int) -> List:
     return specs
 
 
+#: ``run_demo(slo=True)`` sampling program: tick cadence and count.
+SLO_DEMO_SAMPLE_S = 2e-5
+SLO_DEMO_TICKS = 150
+
+
 def run_demo(
     seed: int = 0,
     num_hosts: int = 4,
@@ -57,13 +62,17 @@ def run_demo(
     policy: str = "bin-pack",
     fault_plan=None,
     audit: bool = False,
+    slo: bool = False,
 ) -> Dict:
     """The canonical cluster scenario: boot, place a mixed fleet, run a
     cross-host stream, then evacuate host0 — the DVH tenants move, the
     hardware-coupled ones stay.  Returns the cluster summary dict.
     ``audit=True`` arms the runtime invariant auditor and adds an
     ``"audit"`` section to the summary (the simulated bytes — trace,
-    digest — are identical either way)."""
+    digest — are identical either way).  ``slo=True`` samples every
+    placed tenant's request latency on a fixed cadence during the run
+    (see :mod:`repro.cluster.telemetry`) and adds a per-tenant
+    percentile table — the evacuation's load shift lands in the tails."""
     from repro.core.migration import MigrationError, MigrationNotSupported
     from repro.cluster import Cluster
 
@@ -73,6 +82,18 @@ def run_demo(
     auditor = cluster.enable_audit() if audit else None
     for spec in standard_tenants(num_tenants):
         cluster.place(spec)
+    if slo:
+        from repro.cluster.telemetry import sample_host
+
+        def telemetry():
+            gap = max(1, cluster.sim.cycles(SLO_DEMO_SAMPLE_S))
+            for tick in range(1, SLO_DEMO_TICKS + 1):
+                yield gap
+                for host in cluster.hosts:
+                    if host.tenants:
+                        sample_host(cluster.fabric.metrics, host, tick)
+
+        cluster.sim.spawn(telemetry(), "telemetry")
     if num_hosts >= 2:
         cluster.stream("host1", f"host{num_hosts - 1}", 8 << 20)
         try:
@@ -82,6 +103,16 @@ def run_demo(
         cluster.sim.run()
     summary = cluster.summary()
     summary["trace"] = cluster.events
+    if slo:
+        from repro.cluster.telemetry import percentile_table
+
+        tenants = cluster.tenants()
+        summary["tenant_percentiles"] = percentile_table(
+            cluster.fabric.metrics,
+            lambda series: (
+                tenants[series].spec.io_model if series in tenants else ""
+            ),
+        )
     if auditor is not None:
         report = auditor.finish()
         summary["audit"] = {

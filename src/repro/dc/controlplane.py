@@ -30,14 +30,17 @@ pinned-host count is the §3.6 headline number.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Tuple
 
 from repro.cluster.fabric import UndeliverableError
 from repro.cluster.host import TENANT_PASSTHROUGH, TenantSpec
 from repro.cluster.placement import PlacementError
+from repro.cluster.telemetry import sample_host
+from repro.metrics.hist import Histogram
 
-__all__ = ["ControlPlane", "WaveReport"]
+__all__ = ["ControlPlane", "WaveReport", "SloReport"]
 
 
 @dataclass
@@ -66,6 +69,44 @@ class WaveReport:
         }
 
 
+@dataclass
+class SloReport:
+    """One SLO-gate decision, as the fleet log remembers it.
+
+    ``action`` is "migrate" (the gate moved the tenant), "pinned"
+    (a breaching passthrough tenant — the §3.6 asymmetry biting the
+    SLO loop), "in-flight" (already being migrated, its brownout is
+    the breach), "no-target" (nowhere to go), or "observed" (breached
+    but a worse breach won this tick).  All latencies are integer
+    cycles so reports digest identically across runs.
+    """
+
+    tick: int
+    tenant: str
+    io_model: str
+    host: str
+    p99_cycles: int
+    objective_cycles: int
+    samples: int
+    action: str
+    dst: str = ""
+    outcome: str = ""
+
+    def as_dict(self) -> Dict:
+        return {
+            "tick": self.tick,
+            "tenant": self.tenant,
+            "io_model": self.io_model,
+            "host": self.host,
+            "p99_cycles": self.p99_cycles,
+            "objective_cycles": self.objective_cycles,
+            "samples": self.samples,
+            "action": self.action,
+            "dst": self.dst,
+            "outcome": self.outcome,
+        }
+
+
 class ControlPlane:
     """Event-driven fleet management on the simulated clock."""
 
@@ -90,10 +131,28 @@ class ControlPlane:
         #: Hosts currently rebooting (links dark).
         self.down: set = set()
         self.upgrading = False
-        #: Rebalance migrations currently in flight; upgrade waves wait
-        #: for this to drain so two processes never migrate the same
-        #: tenant (a maintenance window waits out running work).
+        #: Rebalance/SLO migrations currently in flight; upgrade waves
+        #: wait for this to drain so two processes never migrate the
+        #: same tenant (a maintenance window waits out running work).
         self.rebalance_in_flight = 0
+        #: Tenants currently being live-migrated by *any* process —
+        #: the telemetry sampler charges them the brownout multiplier.
+        self.migrating: set = set()
+        #: SLO machinery (active when spec.slo.enabled).
+        self.slo_reports: List[SloReport] = []
+        self.slo_ticks = 0
+        self.slo_samples = 0
+        self.slo_breaches = 0
+        self.slo_migrations = 0
+        #: Fabric fault windows in cycles, for the degradation flag the
+        #: telemetry model consumes (active: start <= now < end).
+        self._fault_windows = [
+            (
+                dc.ms(f.start_ms),
+                None if f.end_ms is None else dc.ms(f.end_ms),
+            )
+            for f in spec.faults
+        ]
         self._procs = []
         dc.control = self
 
@@ -148,6 +207,9 @@ class ControlPlane:
             self._procs.append(sim.spawn(self._rebalance(), name="cp:rebalance"))
         if spec.control.upgrade.enabled:
             self._procs.append(sim.spawn(self._upgrade(), name="cp:upgrade"))
+        if spec.slo.enabled:
+            self._procs.append(sim.spawn(self._telemetry(), name="cp:telemetry"))
+            self._procs.append(sim.spawn(self._slo_gate(), name="cp:slo"))
         return self
 
     # ------------------------------------------------------------------
@@ -240,12 +302,176 @@ class ControlPlane:
             f"hot={hot.cycle_load} mean={mean:.0f}"
         )
         self.rebalance_in_flight += 1
+        self.migrating.add(victim.name)
         try:
             record = yield from dc.orchestrator.migrate_async(victim.name, dst.name)
         finally:
             self.rebalance_in_flight -= 1
+            self.migrating.discard(victim.name)
         if record.outcome == "ok":
             self.rebalance_moves += 1
+
+    # ------------------------------------------------------------------
+    # SLO telemetry and gate
+    # ------------------------------------------------------------------
+    def _fabric_degraded(self) -> bool:
+        """True while any spec'd fabric fault window covers ``now``."""
+        now = self.dc.sim.now
+        return any(
+            start <= now and (end is None or now < end)
+            for start, end in self._fault_windows
+        )
+
+    def _telemetry(self) -> Generator:
+        """Sample every placed tenant's request latency each period
+        into the fabric's per-tenant histogram tables (see
+        :mod:`repro.cluster.telemetry`)."""
+        dc = self.dc
+        cfg = dc.spec.slo
+        interval = max(1, dc.ms(cfg.sample_ms))
+        metrics = dc.fabric.metrics
+        while dc.sim.now < self.horizon:
+            yield interval
+            self.slo_ticks += 1
+            degraded = self._fabric_degraded()
+            for host in dc.hosts:
+                if host.name in self.down or not host.tenants:
+                    continue
+                self.slo_samples += sample_host(
+                    metrics,
+                    host,
+                    self.slo_ticks,
+                    migrating=self.migrating,
+                    degraded=degraded,
+                )
+
+    def _slo_gate(self) -> Generator:
+        """Judge each tenant's *windowed* p99 against its objective and
+        live-migrate the worst breacher.  Windows (the latency-table
+        growth since the previous gate tick) keep old breaches from
+        triggering forever after conditions recover."""
+        dc = self.dc
+        cfg = dc.spec.slo
+        metrics = dc.fabric.metrics
+        start = dc.ms(cfg.gate_start_ms)
+        interval = max(1, dc.ms(cfg.gate_interval_ms))
+        if start > 0:
+            yield start
+        prev: Counter = Counter(metrics.latency)
+        gate_tick = 0
+        while dc.sim.now < self.horizon:
+            yield interval
+            gate_tick += 1
+            current: Counter = Counter(metrics.latency)
+            grown = current - prev  # only strictly positive growth
+            prev = current
+            if self.upgrading:
+                continue  # maintenance window: the wave owns migrations
+            buckets: Dict[str, List[Tuple[int, int]]] = {}
+            for (series, idx), n in grown.items():
+                buckets.setdefault(series, []).append((idx, n))
+            breaches = []
+            for name in sorted(buckets):
+                hist = Histogram.from_buckets(buckets[name])
+                if hist.total < cfg.min_samples:
+                    continue
+                try:
+                    host = dc.host_of(name)
+                except KeyError:
+                    continue  # evicted since its samples landed
+                io_model = host.tenants[name].spec.io_model
+                objective = max(1, dc.ms(cfg.objective_ms(io_model)))
+                p99 = hist.percentile(99.0)
+                if p99 <= objective:
+                    continue
+                # Sort key: worst relative breach first (integer ratio
+                # in per-mille so ordering is exact), ties by name.
+                breaches.append(
+                    (p99 * 1000 // objective, name, host, io_model,
+                     p99, objective, hist.total)
+                )
+            if not breaches:
+                continue
+            self.slo_breaches += len(breaches)
+            breaches.sort(key=lambda b: (-b[0], b[1]))
+            for _, name, host, io_model, p99, objective, samples in breaches[1:]:
+                # Non-worst breaches are recorded, not acted on — except
+                # that a passthrough breach is *always* "pinned" (there
+                # is no action to take, §3.6) and a migrating tenant's
+                # breach is its own brownout.
+                if io_model == TENANT_PASSTHROUGH:
+                    action = "pinned"
+                elif name in self.migrating:
+                    action = "in-flight"
+                else:
+                    action = "observed"
+                self.slo_reports.append(
+                    SloReport(
+                        tick=gate_tick,
+                        tenant=name,
+                        io_model=io_model,
+                        host=host.name,
+                        p99_cycles=p99,
+                        objective_cycles=objective,
+                        samples=samples,
+                        action=action,
+                    )
+                )
+            yield from self._slo_act(gate_tick, breaches[0])
+
+    def _slo_act(self, gate_tick: int, breach) -> Generator:
+        dc = self.dc
+        _, name, host, io_model, p99, objective, samples = breach
+        report = SloReport(
+            tick=gate_tick,
+            tenant=name,
+            io_model=io_model,
+            host=host.name,
+            p99_cycles=p99,
+            objective_cycles=objective,
+            samples=samples,
+            action="observed",
+        )
+        self.slo_reports.append(report)
+        if name in self.migrating:
+            # The breach *is* the brownout of a migration in flight;
+            # moving it again would thrash.
+            report.action = "in-flight"
+            return
+        if io_model == TENANT_PASSTHROUGH:
+            # §3.6: hardware-coupled tenants cannot be live-migrated —
+            # the SLO loop sees the breach but has no placement lever.
+            report.action = "pinned"
+            dc.log(
+                f"slo {name} p99={p99} objective={objective} pinned "
+                f"(passthrough on {host.name})"
+            )
+            return
+        try:
+            dst = dc.orchestrator.pick_destination(
+                host.tenants[name].spec,
+                exclude={host.name} | self.cordoned | self.down,
+            )
+        except PlacementError:
+            report.action = "no-target"
+            dc.log(f"slo {name} p99={p99} objective={objective} no-target")
+            return
+        report.action = "migrate"
+        report.dst = dst.name
+        dc.log(
+            f"slo {name} p99={p99} objective={objective} "
+            f"migrate {host.name}->{dst.name}"
+        )
+        self.rebalance_in_flight += 1
+        self.migrating.add(name)
+        try:
+            record = yield from dc.orchestrator.migrate_async(name, dst.name)
+        finally:
+            self.rebalance_in_flight -= 1
+            self.migrating.discard(name)
+        report.outcome = record.outcome
+        if record.outcome == "ok":
+            self.slo_migrations += 1
 
     # ------------------------------------------------------------------
     # Rolling upgrades
@@ -297,11 +523,16 @@ class ControlPlane:
         cfg = dc.spec.control.upgrade
         host = dc.host(name)
         if host.tenants:
-            records = yield from dc.orchestrator.evacuate_async(
-                name,
-                downtime_limit_s=cfg.downtime_limit_ms * 1e-3,
-                exclude=self.cordoned | self.down,
-            )
+            moving = set(host.tenants)
+            self.migrating |= moving
+            try:
+                records = yield from dc.orchestrator.evacuate_async(
+                    name,
+                    downtime_limit_s=cfg.downtime_limit_ms * 1e-3,
+                    exclude=self.cordoned | self.down,
+                )
+            finally:
+                self.migrating -= moving
             for rec in records:
                 if rec.outcome == "ok":
                     report.migrations_ok += 1
@@ -342,7 +573,7 @@ class ControlPlane:
     # ------------------------------------------------------------------
     def report(self) -> Dict:
         """Control-plane observables for the fleet summary."""
-        return {
+        out = {
             "admitted": len(self.admitted),
             "rejected": list(self.rejected),
             "rebalance_ticks": self.rebalance_ticks,
@@ -352,3 +583,33 @@ class ControlPlane:
             "pinned_total": sum(len(w.pinned) for w in self.waves),
             "upgraded_total": sum(len(w.upgraded) for w in self.waves),
         }
+        if self.dc.spec.slo.enabled:
+            out["slo"] = {
+                "ticks": self.slo_ticks,
+                "samples": self.slo_samples,
+                "breaches": self.slo_breaches,
+                "migrations": self.slo_migrations,
+                "reports": [r.as_dict() for r in self.slo_reports],
+            }
+        return out
+
+    def tenant_percentiles(self) -> Dict[str, Dict]:
+        """Per-tenant p50/p99/p999 and SLO-violation rates from the
+        cumulative fabric latency tables — the cross_host-style table
+        the CLI renders.  Empty unless telemetry ran."""
+        from repro.cluster.telemetry import percentile_table
+
+        cfg = self.dc.spec.slo
+
+        def io_model_of(series: str) -> str:
+            try:
+                host = self.dc.host_of(series)
+                return host.tenants[series].spec.io_model
+            except KeyError:
+                return ""
+
+        return percentile_table(
+            self.dc.fabric.metrics,
+            io_model_of,
+            objective_of=lambda m: max(1, self.dc.ms(cfg.objective_ms(m))),
+        )

@@ -152,21 +152,34 @@ class Datacenter:
 
     def digest(self) -> str:
         """sha256 over the control-plane observables: the event trace,
-        the cross-host byte matrix, and the wave reports."""
+        the cross-host byte matrix, the wave reports, the per-tenant
+        latency histograms, and the SLO-gate decisions.  Covering the
+        histogram tables here is what the byte-identity tests pin:
+        fast-forward on/off, serial vs ``--jobs``, quiescent or eager —
+        same digest."""
         waves = []
+        slo = []
         if self.control is not None:
             waves = [w.as_dict() for w in self.control.waves]
+            slo = [r.as_dict() for r in getattr(self.control, "slo_reports", [])]
+        metrics = self.fabric.metrics
+
+        def table(name: str) -> Dict[str, object]:
+            return {
+                str(k): v
+                for k, v in sorted(
+                    metrics.snapshot()[name].items(), key=lambda kv: str(kv[0])
+                )
+            }
+
         blob = json.dumps(
             {
                 "trace": self.events,
-                "fabric": {
-                    str(k): v
-                    for k, v in sorted(
-                        self.fabric.metrics.snapshot()["cross_host"].items(),
-                        key=lambda kv: str(kv[0]),
-                    )
-                },
+                "fabric": table("cross_host"),
+                "latency": table("latency"),
+                "latency_sum": table("latency_sum"),
                 "waves": waves,
+                "slo": slo,
             },
             sort_keys=True,
         )
@@ -207,4 +220,6 @@ class Datacenter:
         }
         if self.control is not None:
             out["control"] = self.control.report()
+            if self.spec.slo.enabled:
+                out["tenant_percentiles"] = self.control.tenant_percentiles()
         return out

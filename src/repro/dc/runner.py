@@ -105,9 +105,64 @@ control:
 horizon_ms: 40.0
 """
 
+#: The tail-latency headline study: a bin-packed fleet develops a hot
+#: host (noisy neighbours), the SLO gate live-migrates p99 breachers
+#: off it (watch the brownout spike first), and a mid-run fabric
+#: degradation window inflates everyone — exposing the §3.6 asymmetry
+#: as *pinned* SLO reports: breaching passthrough tenants that the
+#: gate has no placement lever for.  DVH (vp) tenants sit between
+#: virtio and passthrough in the per-tenant percentile table, the
+#: result the source paper's throughput aggregates could not show.
+SLO_SPEC = """\
+version: 1
+name: slo
+topology:
+  racks: 2
+  hosts_per_rack: 3
+  spines: 2
+  oversubscription: 2.0
+hosts:
+  guest_hv: kvm
+  stack_levels: 2
+  workers: 2
+tenants:
+  count: 12
+  start_ms: 0.2
+  interval_ms: 0.1
+  mix: {virtio: 5, vp: 3, passthrough: 2}
+  memory_gb: [1, 2]
+  load: [1500, 2400]
+  dirty_pages: [32]
+traffic:
+  flows: 2
+  chunk_kb: 64
+  gap_ms: 0.4
+control:
+  policy: bin-pack      # deliberately creates the hot host
+  rebalance:
+    enabled: false      # the SLO gate is the only mover
+  upgrade:
+    enabled: false
+slo:
+  enabled: true
+  sample_ms: 0.1
+  objective_p99_ms: 0.07
+  objectives: {vp: 0.04, passthrough: 0.015}
+  gate_start_ms: 2.0
+  gate_interval_ms: 1.0
+  min_samples: 8
+faults:
+  - kind: fabric_degrade
+    start_ms: 12.0
+    end_ms: 16.0
+    param: 0.5
+horizon_ms: 20.0
+"""
+
 BUILTIN_SPECS: Dict[str, str] = {
     "small": SMALL_SPEC,
     "fleet": FLEET_SPEC,
+    "slo": SLO_SPEC,
 }
 
 

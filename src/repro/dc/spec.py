@@ -41,6 +41,7 @@ __all__ = [
     "RebalanceSpec",
     "UpgradeSpec",
     "ControlSpec",
+    "SloSpec",
     "FaultWindowSpec",
     "DCSpec",
 ]
@@ -336,6 +337,33 @@ class ControlSpec:
 
 
 @dataclass(frozen=True)
+class SloSpec:
+    """Per-tenant tail-latency objectives and the gate that enforces
+    them.  When enabled, the control plane samples every placed
+    tenant's request latency each ``sample_ms`` (into the fabric's
+    integer histogram tables, see :mod:`repro.cluster.telemetry`) and
+    a periodic gate compares each tenant's windowed p99 against its
+    objective, live-migrating the worst breacher off its host."""
+
+    enabled: bool = False
+    #: Telemetry sampling period.
+    sample_ms: float = 0.2
+    #: Default p99 objective (ms) for tenants without an override.
+    objective_p99_ms: float = 0.1
+    #: Per-io-model objective overrides: {"virtio": 0.2, ...}.
+    objectives: Dict[str, float] = field(default_factory=dict)
+    #: First gate evaluation; windows before it only warm the tables.
+    gate_start_ms: float = 2.0
+    #: Gate cadence; each evaluation sees the samples of its window.
+    gate_interval_ms: float = 1.0
+    #: Windows with fewer samples than this are never judged.
+    min_samples: int = 8
+
+    def objective_ms(self, io_model: str) -> float:
+        return self.objectives.get(io_model, self.objective_p99_ms)
+
+
+@dataclass(frozen=True)
 class FaultWindowSpec:
     """One fabric fault window on the wall-clock (ms) schedule."""
 
@@ -359,6 +387,7 @@ class DCSpec:
     tenants: TenantMixSpec = field(default_factory=TenantMixSpec)
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
     control: ControlSpec = field(default_factory=ControlSpec)
+    slo: SloSpec = field(default_factory=SloSpec)
     faults: Tuple[FaultWindowSpec, ...] = ()
     #: Open-loop processes (traffic, rebalance ticks) stop past this.
     horizon_ms: float = 30.0
@@ -388,6 +417,7 @@ class DCSpec:
                 "tenants": None,
                 "traffic": None,
                 "control": None,
+                "slo": None,
                 "faults": None,
                 "horizon_ms": 30.0,
             },
@@ -548,6 +578,52 @@ class DCSpec:
             policy=str(c["policy"]), rebalance=rebalance, upgrade=upgrade
         )
 
+        sl = _take(
+            top["slo"],
+            {
+                "enabled": False,
+                "sample_ms": 0.2,
+                "objective_p99_ms": 0.1,
+                "objectives": None,
+                "gate_start_ms": 2.0,
+                "gate_interval_ms": 1.0,
+                "min_samples": 8,
+            },
+            "slo",
+        )
+        objectives: Dict[str, float] = {}
+        raw_objectives = sl["objectives"]
+        if raw_objectives is not None:
+            if not isinstance(raw_objectives, dict):
+                raise SpecError("slo.objectives must be a mapping")
+            for model, obj in raw_objectives.items():
+                if model not in (TENANT_VIRTIO, TENANT_VP, TENANT_PASSTHROUGH):
+                    raise SpecError(f"slo.objectives: unknown io model {model!r}")
+                obj_ms = _require_ms(obj, f"slo.objectives[{model!r}]")
+                if obj_ms <= 0:
+                    raise SpecError(f"slo.objectives[{model!r}] must be positive")
+                objectives[model] = obj_ms
+        slo = SloSpec(
+            enabled=bool(sl["enabled"]),
+            sample_ms=_require_ms(sl["sample_ms"], "slo.sample_ms"),
+            objective_p99_ms=_require_ms(
+                sl["objective_p99_ms"], "slo.objective_p99_ms"
+            ),
+            objectives=objectives,
+            gate_start_ms=_require_ms(sl["gate_start_ms"], "slo.gate_start_ms"),
+            gate_interval_ms=_require_ms(
+                sl["gate_interval_ms"], "slo.gate_interval_ms"
+            ),
+            min_samples=_require_pos_int(sl["min_samples"], "slo.min_samples"),
+        )
+        if slo.enabled:
+            if slo.sample_ms <= 0:
+                raise SpecError("slo.sample_ms must be positive")
+            if slo.gate_interval_ms <= 0:
+                raise SpecError("slo.gate_interval_ms must be positive")
+            if slo.objective_p99_ms <= 0:
+                raise SpecError("slo.objective_p99_ms must be positive")
+
         fault_windows: List[FaultWindowSpec] = []
         raw_faults = top["faults"] or []
         if not isinstance(raw_faults, list):
@@ -572,15 +648,22 @@ class DCSpec:
                     f"faults[].kind {kind!r} is not a fabric fault class "
                     f"(choose from {sorted(FaultClass.FABRIC)})"
                 )
+            start_ms = _require_ms(f["start_ms"], "faults[].start_ms")
+            end_ms = (
+                None
+                if f["end_ms"] is None
+                else _require_ms(f["end_ms"], "faults[].end_ms")
+            )
+            if end_ms is not None and end_ms <= start_ms:
+                raise SpecError(
+                    f"faults[].end_ms {end_ms:g} must be after start_ms "
+                    f"{start_ms:g}"
+                )
             fault_windows.append(
                 FaultWindowSpec(
                     kind=kind,
-                    start_ms=_require_ms(f["start_ms"], "faults[].start_ms"),
-                    end_ms=(
-                        None
-                        if f["end_ms"] is None
-                        else _require_ms(f["end_ms"], "faults[].end_ms")
-                    ),
+                    start_ms=start_ms,
+                    end_ms=end_ms,
                     rate=float(f["rate"]),
                     count=int(f["count"]),
                     param=None if f["param"] is None else float(f["param"]),
@@ -600,6 +683,7 @@ class DCSpec:
             tenants=tenants,
             traffic=traffic,
             control=control,
+            slo=slo,
             faults=tuple(fault_windows),
             horizon_ms=horizon_ms,
         )

@@ -18,7 +18,7 @@ __all__ = ["BlockRequest", "SsdDevice"]
 SSD_BYTES_PER_SEC = 500_000_000
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockRequest:
     op: str  # "read" | "write" | "flush"
     size: int

@@ -33,7 +33,7 @@ class VirtqueueFull(Exception):
     """No free descriptors."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Descriptor:
     addr: int
     length: int

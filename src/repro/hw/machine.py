@@ -74,6 +74,13 @@ class Machine:
         self.spans = None
         #: Per-chain exit accounting hook (repro.faults.chains), or None.
         self.chain_tracker = None
+        #: Request-lifecycle capture (repro.metrics.hist), or None =
+        #: capture off.  Engines guard every observation with a None
+        #: check, so the off path allocates nothing — same contract as
+        #: spans.  Histogram-only capture writes integer counter tables
+        #: and stays fast-forward friendly; retaining individual
+        #: records vetoes skipping (see :meth:`_ff_veto`).
+        self.request_capture = None
         #: Live migrations in flight on this machine.  While non-zero,
         #: workload fast-forward is vetoed: skipping epochs would lose
         #: the re-dirty records the attached dirty logs must observe.
@@ -100,6 +107,12 @@ class Machine:
             return "chain_tracker"
         if self.ff_migrations:
             return "migration"
+        capture = self.request_capture
+        if capture is not None and capture.keep_records:
+            # Histogram-only capture rides the fingerprinted counter
+            # tables and scales exactly across skipped epochs; full
+            # per-request records would miss every skipped request.
+            return "request_records"
         return None
 
     # ------------------------------------------------------------------
@@ -140,6 +153,30 @@ class Machine:
 
         self.spans = SpanCollector(self.sim, tracer=tracer, max_chains=max_chains)
         return self.spans
+
+    def enable_request_capture(
+        self,
+        series: str = "requests",
+        keep_records: bool = False,
+        max_records: int = 65536,
+    ):
+        """Turn on per-request latency capture for this machine.
+
+        Returns the :class:`repro.metrics.hist.RequestCapture`.  With
+        the default ``keep_records=False`` only integer histogram
+        tables are written — deterministic, mergeable, and exact under
+        fast-forward.  ``keep_records=True`` additionally retains full
+        :class:`~repro.metrics.hist.RequestRecord` objects (bounded by
+        ``max_records``) and vetoes fast-forward while enabled."""
+        from repro.metrics.hist import RequestCapture
+
+        self.request_capture = RequestCapture(
+            self.metrics,
+            series=series,
+            keep_records=keep_records,
+            max_records=max_records,
+        )
+        return self.request_capture
 
     @property
     def freq_hz(self) -> int:

@@ -1,6 +1,20 @@
-"""Measurement: exit counters, cycle attribution, spans, and reports."""
+"""Measurement: counters, histograms, request records, spans, reports."""
 
 from repro.metrics.counters import Metrics
+from repro.metrics.hist import (
+    Histogram,
+    RequestCapture,
+    RequestRecord,
+    exact_percentile,
+)
 from repro.metrics.spans import Span, SpanCollector
 
-__all__ = ["Metrics", "Span", "SpanCollector"]
+__all__ = [
+    "Metrics",
+    "Histogram",
+    "RequestCapture",
+    "RequestRecord",
+    "exact_percentile",
+    "Span",
+    "SpanCollector",
+]

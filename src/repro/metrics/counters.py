@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Optional
 
+from repro.metrics.hist import bucket_index
+
 __all__ = ["Metrics"]
 
 
@@ -34,6 +36,8 @@ class Metrics:
         "faults",
         "recoveries",
         "cross_host",
+        "latency",
+        "latency_sum",
     )
 
     def __init__(self) -> None:
@@ -62,6 +66,15 @@ class Metrics:
         #: (src_host, dst_host, kind) -> bytes carried over the datacenter
         #: fabric (see repro.cluster.fabric); empty on single-machine runs.
         self.cross_host: Counter = Counter()
+        #: (series, bucket_index) -> request count: the log-spaced
+        #: latency histograms (see repro.metrics.hist).  Keyed per
+        #: series (workload name, tenant name), integer counts only —
+        #: so fast-forward fingerprints and ``apply_scaled`` cover them
+        #: exactly, and per-host tables merge losslessly.
+        self.latency: Counter = Counter()
+        #: series -> exact integer sum of recorded latencies (cycles),
+        #: so histogram means are byte-identical to raw-list means.
+        self.latency_sum: Counter = Counter()
         #: Fast-forward float-charge log (see :meth:`ff_record`): None
         #: when off, else the (category, cycles) additions whose order
         #: matters for bit-exact replay.
@@ -137,6 +150,17 @@ class Metrics:
         """A successful recovery action of class ``kind``."""
         self.recoveries[kind] += n
 
+    def record_latency(self, series: str, cycles: int, n: int = 1) -> None:
+        """``n`` requests on ``series`` observed ``cycles`` latency.
+
+        The bucket count and the exact sum are both plain integer
+        Counter growth, so this table needs no special treatment
+        anywhere: snapshots, diffs, fingerprints, and macro-event
+        scaling all handle it like any other counter.
+        """
+        self.latency[(series, bucket_index(cycles))] += n
+        self.latency_sum[series] += cycles * n
+
     def record_cross_host(
         self, src: str, dst: str, kind: str, nbytes: int
     ) -> None:
@@ -180,6 +204,24 @@ class Metrics:
 
     def total_recoveries(self) -> int:
         return sum(self.recoveries.values())
+
+    def latency_series(self) -> list:
+        """Sorted names of every series with recorded latencies."""
+        return sorted({series for (series, _idx) in self.latency})
+
+    def latency_histogram(self, series: str):
+        """Rebuild the :class:`repro.metrics.hist.Histogram` for one
+        series from the counter tables (exact counts and sum)."""
+        from repro.metrics.hist import Histogram
+
+        return Histogram.from_buckets(
+            (
+                (idx, n)
+                for (name, idx), n in self.latency.items()
+                if name == series
+            ),
+            total_sum=self.latency_sum.get(series, 0),
+        )
 
     def snapshot(self) -> Dict[str, Dict]:
         """A plain-dict snapshot for reports."""

@@ -20,6 +20,7 @@ __all__ = [
     "interrupt_report",
     "fault_report",
     "intervention_summary",
+    "latency_report",
     "simulator_report",
     "full_report",
 ]
@@ -110,6 +111,37 @@ def intervention_summary(metrics: Metrics) -> Dict[str, float]:
     }
 
 
+def latency_report(metrics: Metrics, freq_hz: Optional[int] = None) -> str:
+    """Per-series request-latency percentiles from the histogram tables
+    (see :mod:`repro.metrics.hist`).  Cycles always; microseconds too
+    when ``freq_hz`` is known.  Empty-table safe: only series with at
+    least one observation print."""
+    rows = []
+    for series in metrics.latency_series():
+        hist = metrics.latency_histogram(series)
+        if not hist.total:
+            continue
+        row = [
+            series,
+            f"{hist.total:,}",
+            f"{hist.sum // hist.total:,}",
+            f"{hist.percentile(50.0):,}",
+            f"{hist.percentile(99.0):,}",
+            f"{hist.percentile(99.9):,}",
+        ]
+        if freq_hz:
+            row.append(f"{hist.percentile(99.0) / freq_hz * 1e6:9.2f} us")
+        rows.append(row)
+    if not rows:
+        return "Request latency\n(no latency observations)"
+    header = ["series", "count", "mean cy", "p50 cy", "p99 cy", "p99.9 cy"]
+    if freq_hz:
+        header.append("p99")
+    return "Request latency (histogram buckets, <=3.2% wide)\n" + _table(
+        header, rows
+    )
+
+
 def simulator_report(sim) -> str:
     """Engine cost of the run: events executed, the ready/heap/inline
     scheduling split, and host-side throughput (``Simulator.stats()``)."""
@@ -143,6 +175,8 @@ def simulator_report(sim) -> str:
 def full_report(metrics: Metrics, freq_hz: Optional[int] = None, sim=None) -> str:
     """Everything, for dropping at the end of an experiment."""
     parts = [exit_report(metrics), "", cycle_report(metrics, freq_hz)]
+    if metrics.latency:
+        parts += ["", latency_report(metrics, freq_hz)]
     if metrics.interrupts:
         parts += ["", interrupt_report(metrics)]
     if metrics.faults or metrics.recoveries:

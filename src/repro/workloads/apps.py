@@ -163,21 +163,40 @@ def app_names() -> list:
     ]
 
 
-def run_app(stack, name: str, scale: float = 1.0) -> AppResult:
+def run_app(
+    stack,
+    name: str,
+    scale: float = 1.0,
+    arrival: str = "closed",
+    offered_tps: float = 0.0,
+) -> AppResult:
     """Run one application benchmark on a built stack.
 
     ``scale`` shrinks the simulated transaction count (deterministic
     simulation converges fast; deep-nesting configs use smaller counts to
     bound wall-clock time).  Throughput/elapsed-per-transaction metrics
     are unaffected by the count except for edge effects.
+
+    ``arrival="poisson"`` switches request/response applications to an
+    open-loop client offering ``offered_tps`` transactions per simulated
+    second (see :class:`~repro.workloads.engines.RRSpec`) — queueing
+    delay then lands in the latency tail instead of throttling offered
+    load.  Only request/response apps have an arrival process.
     """
     try:
         spec = APPLICATIONS[name]
     except KeyError:
         raise ValueError(f"unknown application {name!r}; choose from {app_names()}")
+    if arrival != "closed" and not isinstance(spec, RRSpec):
+        raise ValueError(
+            f"arrival={arrival!r} needs a request/response app; "
+            f"{name!r} has no arrival process"
+        )
     if isinstance(spec, RRSpec):
         if scale != 1.0:
             spec = replace(spec, txns=max(8, int(spec.txns * scale)))
+        if arrival != "closed":
+            spec = replace(spec, arrival=arrival, offered_tps=offered_tps)
         return run_rr(stack, spec)
     if isinstance(spec, StreamSpec):
         if scale != 1.0:

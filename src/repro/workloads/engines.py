@@ -16,10 +16,13 @@ emerge from the same mechanisms as in the paper.
 
 from __future__ import annotations
 
+import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List
+from typing import Any, Deque, Dict, Generator, List
 
 from repro.hw.lapic import IPI_RESCHEDULE_VECTOR, VIRTIO_VECTOR_BASE
+from repro.metrics.hist import Histogram, exact_percentile
 
 __all__ = ["RRSpec", "StreamSpec", "HackbenchSpec", "AppResult",
            "run_rr", "run_stream", "run_hackbench"]
@@ -50,20 +53,25 @@ class AppResult:
 
     def latency_percentile(self, p: float) -> float:
         """Client-observed transaction latency percentile, in seconds
-        (assumes the 2.2 GHz simulated clock)."""
+        (assumes the 2.2 GHz simulated clock).  The nearest-rank math
+        lives in :func:`repro.metrics.hist.exact_percentile`."""
         if not self.latencies:
             raise ValueError(f"{self.name} recorded no latencies")
-        if not 0 <= p <= 100:
-            raise ValueError("percentile must be in [0, 100]")
-        ordered = sorted(self.latencies)
-        idx = min(len(ordered) - 1, int(len(ordered) * p / 100))
-        return ordered[idx] / 2.2e9
+        return exact_percentile(self.latencies, p) / 2.2e9
 
     @property
     def mean_latency_s(self) -> float:
         if not self.latencies:
             raise ValueError(f"{self.name} recorded no latencies")
         return sum(self.latencies) / len(self.latencies) / 2.2e9
+
+    def latency_histogram(self) -> Histogram:
+        """The recorded latencies bucketed into a mergeable
+        :class:`~repro.metrics.hist.Histogram` (cycles)."""
+        hist = Histogram()
+        for lat in self.latencies:
+            hist.record(lat)
+        return hist
 
     def overhead_vs(self, native: "AppResult") -> float:
         """The paper's Figure 7 y-axis: performance overhead relative to
@@ -102,6 +110,13 @@ class RRSpec:
     unit: str = "trans/s"
     higher_is_better: bool = True
     metric: str = "tps"  # or "elapsed"
+    #: Arrival model: "closed" (each completion triggers the next
+    #: transaction — the classic netperf shape) or "poisson" (open
+    #: loop: transactions arrive at ``offered_tps`` regardless of
+    #: completions, so queueing delay shows up in the latency tail —
+    #: the million-user model a closed loop structurally hides).
+    arrival: str = "closed"
+    offered_tps: float = 0.0  # open-loop offered load, transactions/s
 
 
 class _RRState:
@@ -114,6 +129,9 @@ class _RRState:
         "t0",
         "rx_bytes",
         "txn_start",
+        "txn_enqueue",
+        "pending",
+        "outstanding",
         "latencies",
     )
 
@@ -126,6 +144,9 @@ class _RRState:
         self.t0 = 0
         self.rx_bytes: Dict[int, int] = {}  # txn -> response bytes seen
         self.txn_start: Dict[int, int] = {}  # txn -> first-query send time
+        self.txn_enqueue: Dict[int, int] = {}  # txn -> arrival time (open loop)
+        self.pending: Deque[int] = deque()  # arrival times awaiting a slot
+        self.outstanding = 0  # transactions in flight (open loop)
         self.latencies: List[int] = []
 
 
@@ -140,6 +161,15 @@ def run_rr(stack, spec: RRSpec, settle: bool = True) -> AppResult:
     net = stack.net
     workers = min(spec.workers, len(stack.ctxs))
     state = _RRState(sim)
+    if spec.arrival not in ("closed", "poisson"):
+        raise ValueError(f"unknown arrival model {spec.arrival!r}")
+    open_loop = spec.arrival == "poisson"
+    if open_loop and spec.offered_tps <= 0:
+        raise ValueError("poisson arrivals need offered_tps > 0")
+    #: Request-lifecycle capture, or None = off (the default): every
+    #: observation below is behind a None check, so the off path does
+    #: no extra work — same zero-cost contract as span tracing.
+    cap = machine.request_capture
 
     # RSS: queue i -> worker i.
     for i in range(workers):
@@ -155,6 +185,7 @@ def run_rr(stack, spec: RRSpec, settle: bool = True) -> AppResult:
     ff_src = None
     if (
         ff.enabled
+        and spec.arrival == "closed"
         and spec.concurrency == 1
         and workers == 1
         and spec.queries_per_txn == 1
@@ -202,6 +233,29 @@ def run_rr(stack, spec: RRSpec, settle: bool = True) -> AppResult:
         state.txn_start[txn_id] = sim.now
         send_query(txn_id, 0)
 
+    # ------------------------------------------------------------------
+    # Open-loop (Poisson) arrivals: transactions arrive on their own
+    # clock; at most ``concurrency`` are in flight, the rest queue at
+    # the client with their arrival time — so the latency a request
+    # observes includes the time it spent waiting for a slot.
+    # ------------------------------------------------------------------
+    def dispatch(enqueue_at: int) -> None:
+        txn_id = state.next_txn
+        state.next_txn += 1
+        state.started += 1
+        state.txn_enqueue[txn_id] = enqueue_at
+        state.txn_start[txn_id] = sim.now
+        send_query(txn_id, 0)
+
+    def arrive() -> None:
+        if state.done:
+            return
+        if state.outstanding < spec.concurrency:
+            state.outstanding += 1
+            dispatch(sim.now)
+        else:
+            state.pending.append(sim.now)
+
     def on_response(packet) -> None:
         kind, txn_id, q_idx = packet.payload
         if kind != "resp":
@@ -217,14 +271,25 @@ def run_rr(stack, spec: RRSpec, settle: bool = True) -> AppResult:
             )
             return
         state.completed += 1
-        lat = sim.now - state.txn_start.pop(txn_id, sim.now)
-        state.latencies.append(lat)
+        start = state.txn_start.pop(txn_id, sim.now)
+        enq = state.txn_enqueue.pop(txn_id, start) if open_loop else start
+        state.latencies.append(sim.now - enq)
+        if cap is not None:
+            cap.observe(enq, start, sim.now)
         if state.completed >= spec.txns:
             state.done = True
             state.done_event.trigger(sim.now)
             for ctx in stack.ctxs[:workers]:
                 ctx.lapic.set_irr(IPI_RESCHEDULE_VECTOR)
                 ctx.pcpu.wake()
+        elif open_loop:
+            state.outstanding -= 1
+            if state.pending:
+                state.outstanding += 1
+                queued_at = state.pending.popleft()
+                sim.call_after(
+                    costs.client_turnaround, lambda: dispatch(queued_at)
+                )
         else:
             sim.call_after(costs.client_turnaround, start_txn)
 
@@ -299,8 +364,19 @@ def run_rr(stack, spec: RRSpec, settle: bool = True) -> AppResult:
     state.t0 = sim.now
     for i in range(workers):
         sim.spawn(worker(i), f"{spec.name}-w{i}")
-    for _ in range(spec.concurrency):
-        start_txn()
+    if open_loop:
+        # Draw the whole arrival schedule up front (like the control
+        # plane draws its randomness in construction): the generator is
+        # derived from the simulator's seeded stream, so the schedule
+        # is a pure function of the run's seed.
+        arrivals = random.Random(sim.rng.getrandbits(64))
+        when = sim.now
+        for _ in range(spec.txns):
+            when += max(1, sim.cycles(arrivals.expovariate(spec.offered_tps)))
+            sim.call_at(when, arrive)
+    else:
+        for _ in range(spec.concurrency):
+            start_txn()
     sim.run()
     if not state.done:
         raise RuntimeError(f"{spec.name}: workload did not complete")
@@ -353,6 +429,10 @@ def run_stream(stack, spec: StreamSpec) -> AppResult:
         "acked_msgs": 0,
     }
     done_event = sim.event("stream-done")
+    # Per-message send -> processed latency capture (None = off; the
+    # send-time dict is only populated when capture is on).
+    cap = machine.request_capture
+    sent_at: Dict[int, int] = {}
 
     def finish() -> None:
         state["done"] = True
@@ -370,6 +450,8 @@ def run_stream(stack, spec: StreamSpec) -> AppResult:
                 return
             state["sent"] += 1
             state["in_flight"] += spec.msg_size
+            if cap is not None:
+                sent_at[state["sent"]] = sim.now
             machine.client.send(
                 stack.flow,
                 spec.msg_size,
@@ -401,6 +483,9 @@ def run_stream(stack, spec: StreamSpec) -> AppResult:
                     yield from ctx.compute(spec.compute_per_msg)
                     state["rx_msgs"] += 1
                     state["rx_bytes"] += size
+                    if cap is not None:
+                        sent = sent_at.pop(payload[1], sim.now)
+                        cap.observe(sent, sent, sim.now)
                     unacked += 1
                     if unacked >= spec.ack_every or state["rx_msgs"] >= spec.msgs:
                         unacked = 0
@@ -427,6 +512,9 @@ def run_stream(stack, spec: StreamSpec) -> AppResult:
             if packet.payload and packet.payload[0] == "data":
                 state["rx_msgs"] += 1
                 state["rx_bytes"] += packet.size
+                if cap is not None:
+                    sent = sent_at.pop(packet.payload[1], sim.now)
+                    cap.observe(sent, sent, sim.now)
                 if state["rx_msgs"] % spec.ack_every == 0:
                     machine.client.send(
                         stack.flow, 64, payload=("ack", state["rx_msgs"])
@@ -454,6 +542,8 @@ def run_stream(stack, spec: StreamSpec) -> AppResult:
                     continue
                 state["sent"] += 1
                 state["in_flight"] += spec.msg_size
+                if cap is not None:
+                    sent_at[state["sent"]] = sim.now
                 yield from ctx.compute(spec.compute_per_msg)
                 yield from net.send(
                     spec.msg_size,
@@ -503,6 +593,7 @@ def run_hackbench(stack, spec: HackbenchSpec) -> AppResult:
     sim = stack.sim
     workers = min(spec.workers, len(stack.ctxs))
     state: Dict[str, Any] = {"remaining": spec.items, "waiting": set(), "active": workers}
+    cap = stack.machine.request_capture
 
     def wake_all_waiting() -> None:
         for w in list(state["waiting"]):
@@ -516,7 +607,10 @@ def run_hackbench(stack, spec: HackbenchSpec) -> AppResult:
         processed = 0
         while state["remaining"] > 0:
             state["remaining"] -= 1
+            item_t0 = sim.now
             yield from ctx.compute(spec.item_cycles)
+            if cap is not None:
+                cap.observe(item_t0, item_t0, sim.now)
             processed += 1
             # Writing into the peer's socket wakes it if it was blocked.
             nxt = (i + 1) % workers

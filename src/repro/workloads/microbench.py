@@ -19,6 +19,7 @@ from typing import Dict
 from repro.hw.lapic import IPI_RESCHEDULE_VECTOR, TIMER_VECTOR
 from repro.hw.ops import Op
 from repro.hv.stack import Stack
+from repro.metrics.hist import Histogram
 
 __all__ = ["MICROBENCHMARKS", "run_microbenchmark", "run_all_microbenchmarks"]
 
@@ -29,10 +30,14 @@ def _bench_hypercall(stack: Stack, iterations: int) -> float:
 
     def main():
         src = sim.ff.source("micro:hypercall")
+        cap = stack.machine.request_capture
         start = sim.now
         left = iterations
         while left > 0:
+            op_t0 = sim.now
             yield from ctx.execute(Op.VMCALL)
+            if cap is not None:
+                cap.observe(op_t0, op_t0, sim.now)
             left -= 1
             if left:
                 left -= src.observe(left)
@@ -50,15 +55,19 @@ def _bench_devnotify(stack: Stack, iterations: int) -> float:
 
     def main():
         src = sim.ff.source("micro:devnotify")
+        cap = stack.machine.request_capture
         start = sim.now
         left = iterations
         while left > 0:
+            op_t0 = sim.now
             yield from ctx.execute(
                 Op.MMIO_WRITE,
                 addr=device.notify_addr,
                 value=device.tx.index,
                 device=device,
             )
+            if cap is not None:
+                cap.observe(op_t0, op_t0, sim.now)
             left -= 1
             if left:
                 left -= src.observe(left)
@@ -74,10 +83,14 @@ def _bench_program_timer(stack: Stack, iterations: int) -> float:
 
     def main():
         src = sim.ff.source("micro:program-timer")
+        cap = stack.machine.request_capture
         start = sim.now
         left = iterations
         while left > 0:
+            op_t0 = sim.now
             yield from ctx.program_timer(ctx.read_tsc() + far, TIMER_VECTOR)
+            if cap is not None:
+                cap.observe(op_t0, op_t0, sim.now)
             left -= 1
             if left:
                 left -= src.observe(left)
@@ -91,7 +104,11 @@ def _bench_send_ipi(stack: Stack, iterations: int) -> float:
     sender = stack.ctx(0)
     receiver = stack.ctx(1)
     sim = stack.sim
-    latencies = []
+    cap = stack.machine.request_capture
+    # Per-IPI latencies go straight into a histogram: the exact integer
+    # sum/count make the mean byte-identical to the raw-list math this
+    # replaced, without an unbounded list.
+    hist = Histogram()
     received = {"event": sim.event()}
 
     def receiver_loop():
@@ -106,7 +123,9 @@ def _bench_send_ipi(stack: Stack, iterations: int) -> float:
             start = sim.now
             yield from sender.send_ipi(receiver.index, IPI_RESCHEDULE_VECTOR)
             arrival = yield received["event"]
-            latencies.append(arrival - start)
+            hist.record(arrival - start)
+            if cap is not None:
+                cap.observe(start, start, arrival)
             yield 3000  # let the receiver settle back into idle
 
     sim.spawn(receiver_loop(), "ipi-rx")
@@ -114,7 +133,7 @@ def _bench_send_ipi(stack: Stack, iterations: int) -> float:
     sim.run()
     if not proc.done:
         raise RuntimeError("SendIPI benchmark deadlocked")
-    return sum(latencies) / len(latencies)
+    return hist.mean()
 
 
 MICROBENCHMARKS = {

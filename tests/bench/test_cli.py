@@ -34,6 +34,41 @@ def test_app_command_with_report(capsys):
     assert "Cycle attribution" in out
 
 
+def test_micro_slo_prints_latency_table(capsys):
+    assert main(["micro", "Hypercall", "--levels", "1", "--iterations", "5",
+                 "--slo"]) == 0
+    out = capsys.readouterr().out
+    assert "Request latency" in out
+    assert "p99 cy" in out
+
+
+def test_app_slo_prints_latency_table(capsys):
+    assert main(["app", "netperf_rr", "--levels", "0", "--scale", "0.1",
+                 "--slo"]) == 0
+    out = capsys.readouterr().out
+    assert "Request latency" in out
+    assert "netperf_rr" in out
+
+
+def test_app_poisson_arrival(capsys):
+    assert main(["app", "netperf_rr", "--levels", "0", "--scale", "0.1",
+                 "--arrival", "poisson", "--offered", "30000"]) == 0
+    out = capsys.readouterr().out
+    assert "arrival=poisson" in out
+
+
+def test_app_poisson_needs_offered_rate(capsys):
+    assert main(["app", "netperf_rr", "--levels", "0", "--scale", "0.1",
+                 "--arrival", "poisson"]) == 1
+    assert "offered_tps" in capsys.readouterr().out
+
+
+def test_app_arrival_rejected_for_non_rr(capsys):
+    assert main(["app", "hackbench", "--levels", "0", "--scale", "0.1",
+                 "--arrival", "poisson", "--offered", "100"]) == 1
+    assert "no arrival process" in capsys.readouterr().out
+
+
 def test_app_io_default_follows_dvh():
     parser = build_parser()
     from repro.cli import _stack_config

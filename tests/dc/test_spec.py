@@ -145,6 +145,71 @@ def test_spec_document_must_be_mapping():
         DCSpec.from_dict([1, 2])
 
 
+def test_fault_window_must_end_after_start():
+    with pytest.raises(SpecError, match="must be after start_ms"):
+        DCSpec.from_text(
+            "faults:\n"
+            "  - kind: fabric_degrade\n"
+            "    start_ms: 5.0\n"
+            "    end_ms: 5.0\n"
+        )
+
+
+# ----------------------------------------------------------------------
+# The slo: block
+# ----------------------------------------------------------------------
+def test_slo_defaults_disabled():
+    spec = DCSpec.from_text("name: tiny\n")
+    assert not spec.slo.enabled
+    assert spec.slo.objective_ms("virtio") == spec.slo.objective_p99_ms
+
+
+def test_slo_block_parses_with_per_model_objectives():
+    spec = DCSpec.from_text(
+        "slo:\n"
+        "  enabled: true\n"
+        "  sample_ms: 0.1\n"
+        "  objective_p99_ms: 0.2\n"
+        "  objectives: {vp: 0.05}\n"
+        "  gate_start_ms: 1.0\n"
+        "  gate_interval_ms: 0.5\n"
+        "  min_samples: 4\n"
+    )
+    assert spec.slo.enabled
+    assert spec.slo.objective_ms("vp") == 0.05
+    assert spec.slo.objective_ms("virtio") == 0.2  # falls back to default
+    assert spec.slo.min_samples == 4
+
+
+def test_slo_unknown_key_rejected():
+    with pytest.raises(SpecError, match="unknown key"):
+        DCSpec.from_text("slo:\n  p99: 0.1\n")
+
+
+def test_slo_unknown_io_model_in_objectives_rejected():
+    with pytest.raises(SpecError, match="unknown io model"):
+        DCSpec.from_text("slo:\n  objectives: {scsi: 0.1}\n")
+
+
+def test_slo_nonpositive_objective_rejected():
+    with pytest.raises(SpecError, match="must be positive"):
+        DCSpec.from_text("slo:\n  objectives: {vp: 0}\n")
+
+
+def test_slo_enabled_requires_positive_cadences():
+    with pytest.raises(SpecError, match="slo.sample_ms"):
+        DCSpec.from_text("slo:\n  enabled: true\n  sample_ms: 0\n")
+    with pytest.raises(SpecError, match="slo.gate_interval_ms"):
+        DCSpec.from_text("slo:\n  enabled: true\n  gate_interval_ms: 0\n")
+    with pytest.raises(SpecError, match="slo.objective_p99_ms"):
+        DCSpec.from_text("slo:\n  enabled: true\n  objective_p99_ms: 0\n")
+
+
+def test_slo_objectives_must_be_mapping():
+    with pytest.raises(SpecError, match="slo.objectives must be a mapping"):
+        DCSpec.from_text("slo:\n  objectives: [1, 2]\n")
+
+
 def test_json_spec_round_trips():
     spec = DCSpec.from_text(
         json.dumps(

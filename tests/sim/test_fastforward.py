@@ -193,6 +193,65 @@ def test_span_tracing_attached_vetoes_skipping():
     assert stack.sim.ff.invalidations.get("spans", 0) > 0
 
 
+def test_hist_capture_rides_fast_forward_byte_identical():
+    """Histogram-only request capture joins the fingerprint and scales
+    across skipped epochs: same tables, same latency list, byte for
+    byte — and skipping really happened."""
+    import dataclasses
+
+    from repro.workloads.apps import NETPERF_RR
+    from repro.workloads.engines import run_rr
+
+    runs = {}
+    for ff in (False, True):
+        stack = _stack(ff, io_model="vp")
+        stack.machine.enable_request_capture(series="rr")
+        result = run_rr(stack, dataclasses.replace(NETPERF_RR, txns=200))
+        runs[ff] = (
+            result.latencies,
+            _digest(stack),
+            stack.metrics.latency_histogram("rr").snapshot(),
+            stack.sim.ff.epochs_skipped,
+        )
+    assert runs[True][:3] == runs[False][:3]
+    assert runs[True][3] > 100
+    assert runs[False][3] == 0
+
+
+def test_record_retention_vetoes_skipping():
+    """keep_records observes individual requests, so it must veto
+    macro-events — with the 'request_records' cause on the books."""
+    import dataclasses
+
+    from repro.workloads.apps import NETPERF_RR
+    from repro.workloads.engines import run_rr
+
+    stack = _stack(True, io_model="vp")
+    cap = stack.machine.enable_request_capture(series="rr", keep_records=True)
+    run_rr(stack, dataclasses.replace(NETPERF_RR, txns=60))
+    assert stack.sim.ff.epochs_skipped == 0
+    assert stack.sim.ff.invalidations.get("request_records", 0) > 0
+    assert len(cap.records) == 60
+
+
+def test_open_loop_arrivals_not_skipped():
+    """Poisson arrival gaps are RNG-drawn, never periodic: the engine
+    must not treat an open-loop run as a steady state."""
+    import dataclasses
+
+    from repro.workloads.apps import NETPERF_RR
+    from repro.workloads.engines import run_rr
+
+    stack = _stack(True, io_model="vp")
+    run_rr(
+        stack,
+        dataclasses.replace(
+            NETPERF_RR, txns=60, arrival="poisson", offered_tps=30_000.0
+        ),
+    )
+    assert stack.sim.ff.epochs_skipped == 0
+
+
 def test_trace_digest_identical_under_span_veto():
     """An attached tracer sees the identical timeline either way (the
     veto forces micro-stepping, so no trace event is ever macro-hidden)."""

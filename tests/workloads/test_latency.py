@@ -10,22 +10,24 @@ from repro.workloads.apps import NETPERF_RR
 from repro.workloads.engines import AppResult, run_rr
 
 
-def run(levels=0, io="native", dvh=None, txns=30):
+def run(levels=0, io="native", dvh=None, txns=30, capture=False, **spec_kw):
     stack = build_stack(
         StackConfig(levels=levels, io_model=io, dvh=dvh or DvhFeatures.none())
     )
-    spec = dataclasses.replace(NETPERF_RR, txns=txns)
-    return run_rr(stack, spec)
+    if capture:
+        stack.machine.enable_request_capture(series="rr")
+    spec = dataclasses.replace(NETPERF_RR, txns=txns, **spec_kw)
+    return run_rr(stack, spec), stack
 
 
 def test_one_latency_per_transaction():
-    r = run(txns=25)
+    r, _ = run(txns=25)
     assert len(r.latencies) == 25
     assert all(lat > 0 for lat in r.latencies)
 
 
 def test_percentiles_ordered():
-    r = run(txns=30)
+    r, _ = run(txns=30)
     assert r.latency_percentile(0) <= r.latency_percentile(50)
     assert r.latency_percentile(50) <= r.latency_percentile(99)
     assert r.latency_percentile(99) <= r.latency_percentile(100)
@@ -33,20 +35,20 @@ def test_percentiles_ordered():
 
 def test_mean_latency_matches_throughput_for_closed_loop():
     """Single-stream closed loop: mean latency ~ 1/throughput."""
-    r = run(txns=40)
+    r, _ = run(txns=40)
     assert r.mean_latency_s == pytest.approx(1 / r.value, rel=0.1)
 
 
 def test_latency_grows_with_nesting():
-    native = run(levels=0, io="native")
-    nested = run(levels=2, io="virtio")
-    dvh = run(levels=2, io="vp", dvh=DvhFeatures.full())
+    native, _ = run(levels=0, io="native")
+    nested, _ = run(levels=2, io="virtio")
+    dvh, _ = run(levels=2, io="vp", dvh=DvhFeatures.full())
     assert nested.mean_latency_s > 3 * native.mean_latency_s
     assert dvh.mean_latency_s < nested.mean_latency_s / 2
 
 
 def test_percentile_validation():
-    r = run(txns=10)
+    r, _ = run(txns=10)
     with pytest.raises(ValueError):
         r.latency_percentile(101)
     empty = AppResult("x", 1.0, "s", False, 1.0, 1)
@@ -54,3 +56,74 @@ def test_percentile_validation():
         empty.latency_percentile(50)
     with pytest.raises(ValueError, match="no latencies"):
         _ = empty.mean_latency_s
+
+
+# ----------------------------------------------------------------------
+# Request capture: histograms, zero-cost-off, determinism
+# ----------------------------------------------------------------------
+def test_capture_off_leaves_tables_empty():
+    r, stack = run(txns=20)
+    assert stack.machine.request_capture is None  # the default
+    assert not stack.metrics.latency
+    assert not stack.metrics.latency_sum
+    assert len(r.latencies) == 20  # the result list is unaffected
+
+
+def test_capture_histogram_matches_latency_list():
+    r, stack = run(txns=30, capture=True)
+    hist = stack.metrics.latency_histogram("rr")
+    assert hist.total == len(r.latencies) == 30
+    assert hist.sum == sum(r.latencies)  # exact integer sum
+    assert hist.mean() == pytest.approx(r.mean_latency_s * 2.2e9, rel=1e-9)
+
+
+def test_capture_does_not_perturb_simulation():
+    plain, _ = run(levels=2, io="vp", dvh=DvhFeatures.full(), txns=30)
+    captured, _ = run(
+        levels=2, io="vp", dvh=DvhFeatures.full(), txns=30, capture=True
+    )
+    assert plain.latencies == captured.latencies
+    assert plain.value == captured.value
+
+
+def test_result_histogram_view():
+    r, _ = run(txns=25)
+    hist = r.latency_histogram()
+    assert hist.total == 25
+    assert hist.sum == sum(r.latencies)
+
+
+# ----------------------------------------------------------------------
+# Open-loop Poisson arrivals
+# ----------------------------------------------------------------------
+def test_poisson_requires_offered_rate():
+    with pytest.raises(ValueError, match="offered_tps"):
+        run(txns=10, arrival="poisson")
+
+
+def test_unknown_arrival_rejected():
+    with pytest.raises(ValueError, match="arrival"):
+        run(txns=10, arrival="uniform")
+
+
+def test_poisson_is_deterministic():
+    a, _ = run(txns=30, arrival="poisson", offered_tps=30_000.0)
+    b, _ = run(txns=30, arrival="poisson", offered_tps=30_000.0)
+    assert a.latencies == b.latencies
+    assert a.value == b.value
+
+
+def test_poisson_overload_shows_queueing_in_the_tail():
+    """An open loop offered far beyond capacity must queue: the tail
+    (enqueue-to-complete) stretches far beyond the closed-loop tail,
+    which is the whole point of measuring open loop."""
+    closed, _ = run(txns=40)
+    rate = 40 * closed.value  # 40x the sustainable closed-loop rate
+    overloaded, _ = run(txns=40, arrival="poisson", offered_tps=rate)
+    assert len(overloaded.latencies) == 40
+    p99_open = overloaded.latency_percentile(99)
+    p99_closed = closed.latency_percentile(99)
+    assert p99_open > 3 * p99_closed
+    # queueing delay dominates: the backlog drains linearly, so the
+    # tail sits well above the median (a closed loop is nearly flat)
+    assert p99_open > 1.5 * overloaded.latency_percentile(50)
