@@ -36,6 +36,19 @@ SEED_TIER1_WALL_S = 50.05
 TABLE3_ITERATIONS = 3
 FIGURE_APPS = ["netperf_rr"]
 
+#: The head-to-head study slice: the full 4-variant matrix over one
+#: micro-op plus the single-machine migration scenario (the study's
+#: heaviest cell family), serial.
+STUDY_SLICE_SPEC = {
+    "name": "perf-slice",
+    "micro_benches": ["DevNotify"],
+    "micro_guest_hvs": ["kvm"],
+    "micro_iterations": 5,
+    "app_names": [],
+    "migration": True,
+    "cluster_hosts": 0,
+}
+
 
 def bench_table3_slice() -> Dict[str, float]:
     t0 = perf_counter()
@@ -47,6 +60,15 @@ def bench_app_figure_slice() -> Dict[str, object]:
     t0 = perf_counter()
     run_figure7(apps=FIGURE_APPS)
     return {"figure": "7", "apps": FIGURE_APPS, "wall_s": perf_counter() - t0}
+
+
+def bench_study_slice() -> Dict[str, object]:
+    from repro.study import StudySpec, run_study
+
+    spec = StudySpec.from_dict(STUDY_SLICE_SPEC)
+    t0 = perf_counter()
+    run_study(spec, seed=0, jobs=1)
+    return {"spec": spec.name, "wall_s": perf_counter() - t0}
 
 
 def bench_tier1() -> Dict[str, float]:
@@ -74,6 +96,7 @@ def run_benchmarks(tier1: bool, carry_from: Optional[str] = None) -> Dict[str, o
     results: Dict[str, object] = {
         "table3_slice": bench_table3_slice(),
         "app_figure_slice": bench_app_figure_slice(),
+        "study_slice": bench_study_slice(),
         "host": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
@@ -103,7 +126,11 @@ def check_against(
     with open(baseline_path) as fh:
         base = json.load(fh)
     failures = []
-    for key in ("table3_slice", "app_figure_slice"):
+    for key in ("table3_slice", "app_figure_slice", "study_slice"):
+        if key not in base:
+            # Baseline predates this slice: measure but don't gate.
+            print(f"{key:18s} {results[key]['wall_s']:.2f}s (no baseline)")
+            continue
         got = results[key]["wall_s"]
         ref = base[key]["wall_s"]
         ratio = got / ref
@@ -145,6 +172,7 @@ def main(argv=None) -> int:
     results = run_benchmarks(tier1=args.tier1, carry_from=args.out)
     print(f"table3 slice      {results['table3_slice']['wall_s']:.2f}s")
     print(f"app figure slice  {results['app_figure_slice']['wall_s']:.2f}s")
+    print(f"study slice       {results['study_slice']['wall_s']:.2f}s")
     if "tier1" in results:
         t1 = results["tier1"]
         print(

@@ -171,6 +171,54 @@ def _run_migration_matrix(seed: int) -> List[AuditScenario]:
     scenarios.append(
         AuditScenario(name="migration/L2+DVH/abort", violations=violations)
     )
+
+    # OoH grant revocation mid-migration: pre-copy starts with the
+    # dirty_logging grant active, loses it to an ooh_grant_revoke fault
+    # while rounds are still draining, and must finish on the forwarded
+    # path with the fallback counted — and nothing leaked.
+    from repro.faults.plan import FaultClass, FaultPlan, FaultSpec
+    from repro.faults.injector import FaultInjector
+    from repro.ooh.grants import GrantSet
+
+    auditor = Auditor()
+    stack = build_stack(
+        StackConfig(
+            levels=2, io_model="virtio", workers=2, ooh=GrantSet.migration()
+        )
+    )
+    stack.settle()
+    auditor.attach_stack(stack)
+    FaultInjector(
+        stack.machine,
+        FaultPlan(
+            [
+                FaultSpec(
+                    kind=FaultClass.OOH_GRANT_REVOKE,
+                    start=stack.sim.now + 50_000,
+                    mechanisms=("dirty_logging",),
+                )
+            ]
+        ),
+        seed=seed,
+    ).attach(stack)
+    mig = LiveMigration(stack.machine, stack.leaf_vm)
+    res = stack.sim.run_process(mig.run(), "migrate-ooh-revoke")
+    report = auditor.finish()
+    violations = [str(v) for v in report.violations]
+    ooh = stack.machine.ooh
+    if ooh.revocations == 0:
+        violations.append("ooh_grant_revoke fault never revoked the grant")
+    if ooh.active("dirty_logging"):
+        violations.append("dirty_logging grant still active after revocation")
+    if stack.metrics.recoveries.get("ooh_fallback", 0) == 0:
+        violations.append("ooh_fallback recovery not counted")
+    scenarios.append(
+        AuditScenario(
+            name="migration/L2+OoH/grant-revoke",
+            violations=violations,
+            detail=f"rounds={res.rounds} revocations={ooh.revocations}",
+        )
+    )
     return scenarios
 
 

@@ -13,10 +13,13 @@ Usage (after ``pip install -e .``)::
     python -m repro faults plan --levels 2 --io vp --dvh full
     python -m repro audit --episodes 500
     python -m repro cluster migrate --io vp --audit
+    python -m repro study --json
 
-Every subcommand accepts ``--seed`` (before or after the subcommand
-name): it reseeds the simulated stacks, so the same seed reproduces the
-same run bit for bit.
+Every subcommand uniformly accepts ``--seed``, ``--no-fast-forward``,
+``--audit``, ``--jobs``, and ``--json`` (``--seed`` and
+``--no-fast-forward`` also work before the subcommand name): the same
+seed reproduces the same run bit for bit, with or without fast-forward
+and at any jobs count.
 """
 
 from __future__ import annotations
@@ -63,17 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_jobs_arg(p):
-        p.add_argument(
-            "--jobs",
-            type=int,
-            default=1,
-            help="worker processes for independent cells (0 = one per CPU)",
-        )
-
-    def add_seed_arg(p):
-        # SUPPRESS keeps a pre-subcommand `--seed N` from being clobbered
-        # by the subparser's default when the flag follows the subcommand.
+    def add_common_args(p):
+        """The uniform flag set every subcommand accepts: --seed,
+        --no-fast-forward, --audit, --jobs, --json.  SUPPRESS defaults
+        keep a pre-subcommand `--seed N` / `--no-fast-forward` from
+        being clobbered when the flag follows the subcommand name.
+        Subcommands without parallel cells, auditing, or a JSON shape
+        simply ignore the unused flags."""
         p.add_argument(
             "--seed", type=int, default=argparse.SUPPRESS, help="simulation seed"
         )
@@ -83,10 +82,23 @@ def build_parser() -> argparse.ArgumentParser:
             default=argparse.SUPPRESS,
             help="micro-step every event (no epoch skipping)",
         )
+        p.add_argument(
+            "--audit",
+            action="store_true",
+            help="arm the runtime invariant auditor (exit 1 on violations)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for independent cells (0 = one per CPU)",
+        )
+        p.add_argument(
+            "--json", action="store_true", help="print machine-readable JSON"
+        )
 
     t3 = sub.add_parser("table3", help="Table 3: microbenchmark cycles")
-    add_jobs_arg(t3)
-    add_seed_arg(t3)
+    add_common_args(t3)
 
     fig = sub.add_parser("figure", help="Figures 7/8/9/10: application overheads")
     fig.add_argument("number", choices=["7", "8", "9", "10"])
@@ -95,19 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument(
         "--chart", action="store_true", help="render as an ASCII bar chart"
     )
-    add_jobs_arg(fig)
-    add_seed_arg(fig)
-
-    def add_audit_arg(p):
-        p.add_argument(
-            "--audit",
-            action="store_true",
-            help="arm the runtime invariant auditor (exit 1 on violations)",
-        )
+    add_common_args(fig)
 
     mig = sub.add_parser("migration", help="the Section 4 migration experiment")
-    add_audit_arg(mig)
-    add_seed_arg(mig)
+    add_common_args(mig)
 
     def add_stack_args(p):
         p.add_argument("--levels", type=int, default=2, choices=[0, 1, 2, 3, 4, 5])
@@ -129,9 +132,8 @@ def build_parser() -> argparse.ArgumentParser:
     micro.add_argument("name", choices=sorted(MICROBENCHMARKS))
     micro.add_argument("--iterations", type=int, default=30)
     add_stack_args(micro)
-    add_audit_arg(micro)
     add_slo_arg(micro)
-    add_seed_arg(micro)
+    add_common_args(micro)
 
     trace = sub.add_parser(
         "trace",
@@ -162,14 +164,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="show the top N (level, reason, handler) sites by cycles",
     )
     add_stack_args(trace)
-    add_seed_arg(trace)
+    add_common_args(trace)
 
     analyze = sub.add_parser(
         "analyze", help="exit breakdown: why a workload is slow per config"
     )
     analyze.add_argument("name", choices=app_names())
     analyze.add_argument("--scale", type=float, default=0.25)
-    add_seed_arg(analyze)
+    add_common_args(analyze)
 
     app = sub.add_parser("app", help="one Table 2 application benchmark")
     app.add_argument("name", choices=app_names())
@@ -192,9 +194,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="offered transactions/second for --arrival poisson",
     )
     add_stack_args(app)
-    add_audit_arg(app)
     add_slo_arg(app)
-    add_seed_arg(app)
+    add_common_args(app)
 
     faults = sub.add_parser(
         "faults", help="fault injection: run a plan or a fuzz campaign"
@@ -219,8 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--verbose", action="store_true", help="print failing episodes' plans"
     )
-    add_audit_arg(fuzz)
-    add_seed_arg(fuzz)
+    add_common_args(fuzz)
 
     plan = fsub.add_parser(
         "plan", help="one seed-derived fault plan against one stack"
@@ -238,8 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true", help="print the full exit/cycle report"
     )
     add_stack_args(plan)
-    add_audit_arg(plan)
-    add_seed_arg(plan)
+    add_common_args(plan)
 
     cluster = sub.add_parser(
         "cluster",
@@ -262,11 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="fabric fault classes to draw a seed-derived plan from",
         )
-        p.add_argument(
-            "--json", action="store_true", help="print machine-readable JSON"
-        )
-        add_audit_arg(p)
-        add_seed_arg(p)
+        add_common_args(p)
 
     cdemo = csub.add_parser(
         "demo", help="boot a cluster, place a fleet, evacuate a host"
@@ -294,11 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="sweep placement policies across cluster sizes"
     )
     csweep.add_argument("--tenants", type=int, default=6)
-    csweep.add_argument(
-        "--json", action="store_true", help="print machine-readable JSON"
-    )
-    add_jobs_arg(csweep)
-    add_seed_arg(csweep)
+    add_common_args(csweep)
 
     dc = sub.add_parser(
         "dc",
@@ -322,15 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
             "touch (byte-identical trace; only wall time changes)",
         )
         p.add_argument(
-            "--json", action="store_true", help="print machine-readable JSON"
-        )
-        p.add_argument(
             "--slo",
             action="store_true",
             help="force-enable latency telemetry and the SLO gate even "
             "when the spec's slo: block is absent or disabled",
         )
-        add_seed_arg(p)
+        add_common_args(p)
 
     ddemo = dsub.add_parser(
         "demo",
@@ -348,13 +336,13 @@ def build_parser() -> argparse.ArgumentParser:
     dsweep.add_argument(
         "--seeds", type=int, default=4, help="number of seeds (0..N-1)"
     )
-    add_jobs_arg(dsweep)
     add_dc_args(dsweep)
 
     dval = dsub.add_parser(
         "validate", help="parse and validate a spec file, print its shape"
     )
     dval.add_argument("--spec", default="small", help="spec name or path")
+    add_common_args(dval)
 
     slo = sub.add_parser(
         "slo",
@@ -368,12 +356,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="spec name or path (default: the built-in 'slo' study)",
     )
     slo.add_argument(
-        "--json", action="store_true", help="print machine-readable JSON"
-    )
-    slo.add_argument(
         "--trace", action="store_true", help="print the full event trace"
     )
-    add_seed_arg(slo)
+    add_common_args(slo)
+
+    study = sub.add_parser(
+        "study",
+        help="head-to-head: baseline vs DVH vs OoH vs DVH+OoH across "
+        "micro-ops, apps, and live migration (repro.study)",
+    )
+    study.add_argument(
+        "--spec",
+        default=None,
+        help="path to a JSON study-matrix spec (default: the built-in "
+        "full matrix; see examples/study_matrix.json)",
+    )
+    add_common_args(study)
 
     audit = sub.add_parser(
         "audit",
@@ -389,7 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument(
         "--verbose", action="store_true", help="print per-scenario detail"
     )
-    add_seed_arg(audit)
+    add_common_args(audit)
 
     return parser
 
@@ -517,6 +515,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "slo":
         return _run_slo(args)
+
+    if args.command == "study":
+        return _run_study(args)
 
     if args.command == "audit":
         from repro.audit.runner import render_audit, run_audit
@@ -927,6 +928,25 @@ def _run_dc(args) -> int:
     if summary.get("tenant_percentiles"):
         print()
         _print_percentiles(summary["tenant_percentiles"], freq_hz=dc.sim.freq_hz)
+    return 0
+
+
+def _run_study(args) -> int:
+    """The ``study`` subcommand: the 4-way head-to-head matrix."""
+    import json
+
+    from repro.study import StudySpec, render_study, run_study
+
+    try:
+        spec = StudySpec.from_file(args.spec) if args.spec else StudySpec()
+    except (ValueError, OSError) as exc:
+        print(f"spec error: {exc}")
+        return 1
+    result = run_study(spec, seed=args.seed, jobs=args.jobs)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        return 0
+    print(render_study(result))
     return 0
 
 

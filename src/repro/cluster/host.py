@@ -21,7 +21,7 @@ of the booted stack:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.migration import add_migration_capability
 from repro.core.vpassthrough import assign_virtual_device
@@ -36,6 +36,7 @@ from repro.hv.stack import (
 )
 from repro.hv.virtio_backend import HostVhost
 from repro.core.vpassthrough import populate_chain_epts
+from repro.ooh.grants import GrantConflictError, GrantSet, GrantTable
 
 __all__ = ["TenantSpec", "Tenant", "ClusterHost"]
 
@@ -73,6 +74,11 @@ class TenantSpec:
     #: Pages the tenant's workload re-dirties per dirtying interval while
     #: it runs (drives live-migration pre-copy rounds).
     dirty_pages: int = 64
+    #: OoH feature grants this tenant's placement asks the host to hand
+    #: its guest hypervisor (names from ``repro.ooh.OOH_FEATURES``).
+    #: Installed on the host's machine at admission; only meaningful for
+    #: nested tenants ("vp"), whose exits the grants short-circuit.
+    grants: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.io_model not in _TENANT_MODELS:
@@ -82,6 +88,16 @@ class TenantSpec:
             )
         if self.memory_gb <= 0:
             raise ValueError("memory_gb must be positive")
+        if self.grants:
+            # Unknown names raise UnknownGrantError here, at spec time.
+            granted = GrantSet.from_names(self.grants)
+            if self.io_model == TENANT_PASSTHROUGH and (
+                granted.dirty_logging or granted.dirty_ring
+            ):
+                raise GrantConflictError(
+                    f"{self.name}: dirty-tracking grants cannot cover a "
+                    "passthrough tenant: device DMA bypasses the granted log"
+                )
 
 
 @dataclass(slots=True)
@@ -294,6 +310,8 @@ class ClusterHost:
                 f"{self.name}: {spec.name} needs {spec.memory_gb} GB, "
                 f"only {self.mem_free // GB} GB free"
             )
+        if spec.grants:
+            self._install_grants(GrantSet.from_names(spec.grants))
         if spec.io_model == TENANT_VIRTIO:
             tenant = self._admit_virtio(spec)
         elif spec.io_model == TENANT_VP:
@@ -302,6 +320,14 @@ class ClusterHost:
             tenant = self._admit_passthrough(spec)
         self.tenants[spec.name] = tenant
         return tenant
+
+    def _install_grants(self, grants: GrantSet) -> None:
+        """Hand the named OoH features to this host's guest hypervisor
+        (tenants on one host accumulate into a shared grant table)."""
+        if self.machine.ooh is None:
+            self.machine.ooh = GrantTable(grants, self.machine.metrics)
+        else:
+            self.machine.ooh.install(grants)
 
     def _vm_name(self, spec: TenantSpec) -> str:
         return f"{self.name}/{spec.name}"

@@ -230,6 +230,35 @@ class LiveMigration:
         base = self.vm.memory.size_bytes // FOOTPRINT_DIVISOR // PAGE_SIZE
         return base + len(self.vm.memory.touched_pages)
 
+    def _track_dirty(self, npages: int) -> Generator:
+        """Charge the cycles dirty-page *tracking* cost for ``npages``
+        freshly drained pages (see :mod:`repro.ooh.pricing`).
+
+        Active only when the machine carries an OoH grant table and the
+        migrating VM is nested (its dirty faults would otherwise be the
+        guest hypervisor's to take): without a dirty grant each page is
+        a forwarded write-protection fault chain; with ``dirty_logging``
+        it is one L0 round trip; with ``dirty_ring`` only buffer
+        flushes exit.  A machine without a grant table (``ooh is
+        None``) charges nothing — byte-identical to the pre-OoH path.
+        """
+        if npages <= 0:
+            return
+        ooh = getattr(self.machine, "ooh", None)
+        if ooh is None or getattr(self.vm, "level", 1) < 2:
+            return
+        from repro.ooh.pricing import dirty_tracking_cycles
+
+        hv_stack = self.machine.hv_stack
+        ghv = hv_stack[1] if len(hv_stack) > 1 else self.machine.host_hv
+        mode = ooh.dirty_mode()
+        cycles = dirty_tracking_cycles(
+            self.machine.costs, ghv.profile, npages, mode
+        )
+        ooh.record(ooh.dirty_feature(), mode is not None, npages)
+        self.machine.metrics.charge("dirty_tracking", cycles)
+        yield cycles
+
     def _teardown(self, cpu_log: DirtyLog, backends) -> None:
         """Release every resource the migration holds: detach the CPU
         dirty log, disable device dirty logging, resume paused backends.
@@ -336,6 +365,7 @@ class LiveMigration:
             for log in device_logs:
                 drained |= log.drain()
             pending |= drained
+            yield from self._track_dirty(len(drained))
             if audit is not None and drained:
                 audit.on_pages_drained(self.vm, drained)
             nbytes = len(pending) * PAGE_SIZE
@@ -355,10 +385,13 @@ class LiveMigration:
         # --- Stop and copy --------------------------------------------
         for _device, backend in backends:
             backend.pause()
-        downtime_start = sim.now
         drained = set(cpu_log.drain())
         for log in device_logs:
             drained |= log.drain()
+        # Tracking cost of this batch accrued while the VM was still
+        # running — charge it before the downtime clock starts.
+        yield from self._track_dirty(len(drained))
+        downtime_start = sim.now
         if audit is not None and drained:
             audit.on_pages_drained(self.vm, drained)
         dirty = pending | drained

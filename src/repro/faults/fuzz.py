@@ -59,6 +59,7 @@ FUZZ_CLASSES: Tuple[str, ...] = (
     FaultClass.IRQ_SPURIOUS,
     FaultClass.IOMMU_FAULT,
     FaultClass.DVH_CAP_FAULT,
+    FaultClass.OOH_GRANT_REVOKE,
 )
 
 
@@ -286,9 +287,31 @@ class TrapChainFuzzer:
         if levels >= 2 and dvh.virtual_passthrough:
             io_choices.append("vp")
         io_model = rng.choice(io_choices)
+        ooh = self._episode_grants(rng, levels, io_model, dvh)
         return StackConfig(
-            levels=levels, io_model=io_model, dvh=dvh, workers=self.workers
+            levels=levels, io_model=io_model, dvh=dvh, workers=self.workers,
+            ooh=ooh,
         )
+
+    def _episode_grants(self, rng: random.Random, levels, io_model, dvh):
+        """Maybe grant OoH features, drawing only from the combinations
+        StackConfig.validate accepts for this episode's shape (so the
+        fuzzer explores grant *behavior*, not rejected configs)."""
+        from repro.ooh.grants import GrantSet
+
+        if levels < 2 or rng.random() < 0.5:
+            return None
+        pool = []
+        if io_model != "passthrough":
+            pool.append(rng.choice(("dirty_logging", "dirty_ring")))
+        if not dvh.virtual_timer:
+            pool.append("timer_deadline")
+        if not dvh.virtual_ipi:
+            pool.append("posted_interrupts")
+        chosen = [f for f in pool if rng.random() < 0.6]
+        if not chosen:
+            return None
+        return GrantSet.from_names(chosen)
 
     def _run_once(self, index: int):
         """One full episode execution; returns everything the digest and

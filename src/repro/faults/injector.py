@@ -128,6 +128,9 @@ class FaultInjector:
             spec = plan.spec_for(FaultClass.VIRTIO_MALFORMED)
             if spec is not None:
                 self._schedule_corruption(stack, spec)
+        spec = plan.spec_for(FaultClass.OOH_GRANT_REVOKE)
+        if spec is not None:
+            self._schedule_grant_revoke(spec)
         return self
 
     def _hook_kicks(self, stack) -> None:
@@ -260,6 +263,25 @@ class FaultInjector:
                 self._record(FaultClass.VIRTIO_MALFORMED)
 
         return fire
+
+    def _schedule_grant_revoke(self, spec: FaultSpec) -> None:
+        """Revoke OoH grants at the spec's start time: the host reclaims
+        the real virtual hardware and the guest hypervisor's granted
+        exits fall back to forwarded emulation (counted as the
+        ``ooh_fallback`` recovery)."""
+        ooh = getattr(self.machine, "ooh", None)
+        if ooh is None:
+            return
+        sim = self.machine.sim
+        features = spec.mechanisms or ooh.configured_names()
+
+        def fire() -> None:
+            for feature in features:
+                if ooh.revoke(feature):
+                    self._record(FaultClass.OOH_GRANT_REVOKE)
+                    self.machine.metrics.record_recovery("ooh_fallback")
+
+        sim.call_at(max(spec.start, sim.now + 1), fire)
 
     # ------------------------------------------------------------------
     # Migration-wire consultation (duck-typed by LiveMigration)

@@ -56,6 +56,11 @@ class FaultClass:
     #: Datacenter fabric: links run at a fraction of nominal bandwidth
     #: (incast congestion, a flapping optic renegotiating rates).
     FABRIC_DEGRADE = "fabric_degrade"
+    #: OoH feature grants are revoked mid-run (host reclaims the real
+    #: virtual hardware); granted exits fall back to forwarding.
+    #: ``mechanisms`` names the features to revoke (empty = all
+    #: configured grants).
+    OOH_GRANT_REVOKE = "ooh_grant_revoke"
 
     ALL: Tuple[str, ...] = (
         NIC_DROP,
@@ -72,6 +77,7 @@ class FaultClass:
         FABRIC_PARTITION,
         FABRIC_HOST_LOSS,
         FABRIC_DEGRADE,
+        OOH_GRANT_REVOKE,
     )
 
     #: Classes expressed as a per-opportunity probability (hook faults).
@@ -195,6 +201,17 @@ class FaultPlan:
                 )
             elif kind == FaultClass.FABRIC_DEGRADE:
                 specs.append(FaultSpec(kind=kind, param=rng.uniform(0.05, 0.5)))
+            elif kind == FaultClass.OOH_GRANT_REVOKE:
+                from repro.ooh.grants import OOH_FEATURES
+
+                n = rng.randint(1, 2)
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        start=rng.randrange(horizon // 2),
+                        mechanisms=tuple(rng.sample(OOH_FEATURES, n)),
+                    )
+                )
             else:  # DVH_CAP_FAULT
                 from repro.core.features import DVH_MECHANISMS
 

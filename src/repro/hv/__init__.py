@@ -1,13 +1,17 @@
 """Hypervisor substrate: KVM/Xen, VMs, vCPUs, backends, stacks."""
 
 from repro.hv.kvm import KvmHypervisor
+from repro.hv.profiles import KVM_PROFILE, PROFILES, XEN_PROFILE, HypervisorProfile
 from repro.hv.scheduler import NestedVmScheduler, SiblingLoad, attach_sibling
 from repro.hv.stack import MAX_LEVELS, Stack, StackConfig, build_stack
 from repro.hv.vm import VCpu, VirtualMachine
-from repro.hv.xen import XenHypervisor
 
 __all__ = [
     "KvmHypervisor",
+    "HypervisorProfile",
+    "KVM_PROFILE",
+    "XEN_PROFILE",
+    "PROFILES",
     "NestedVmScheduler",
     "SiblingLoad",
     "attach_sibling",
@@ -17,5 +21,4 @@ __all__ = [
     "build_stack",
     "VCpu",
     "VirtualMachine",
-    "XenHypervisor",
 ]

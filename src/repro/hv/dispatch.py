@@ -68,6 +68,7 @@ class ExitContext:
         "metrics",
         "span",
         "handler",
+        "granted",
     )
 
     def __init__(
@@ -84,9 +85,12 @@ class ExitContext:
         #: Forwarding legs this exit traversed (0 = handled by L0 directly).
         self.hops = 0
         self.metrics = machine.metrics
-        #: Who ended up handling the exit ("l0", "l0:dvh", or the owning
-        #: guest hypervisor's name); set by the dispatcher.
+        #: Who ended up handling the exit ("l0", "l0:dvh", "l0:ooh", or
+        #: the owning guest hypervisor's name); set by the dispatcher.
         self.handler = ""
+        #: Whether an OoH feature grant short-circuited this exit (set
+        #: by the dispatcher; handlers price granted exits flat).
+        self.granted = False
         if parent is None:
             self.chain_id = machine.new_chain_id()
             self.depth = 0
@@ -159,6 +163,11 @@ class ExitHandlerRegistry:
         self._guest: Dict[Tuple[ExitReason, Optional[str]], GuestHandler] = {}
         self._guest_default: Optional[GuestHandler] = None
         self._claims: Dict[ExitReason, OwnershipClaim] = {}
+        #: OoH grant gates: reason -> grantable feature name.  Consulted
+        #: *before* the ownership claims for level-2 vCPUs, so an active
+        #: grant short-circuits forwarding exactly where a DVH claim
+        #: would (see repro.ooh.grants.register_ownership).
+        self._grant_gates: Dict[ExitReason, str] = {}
         self._claims_installed = False
         # Flattened lookup tables indexed by ExitReason.index, with the
         # defaults/fallbacks folded in.  Built lazily on first use and
@@ -167,6 +176,7 @@ class ExitHandlerRegistry:
         self._l0_table: Optional[List[Optional[Tuple[L0Handler, bool]]]] = None
         self._guest_tables: Dict[Optional[str], List[Optional[GuestHandler]]] = {}
         self._claims_table: Optional[List[Optional[OwnershipClaim]]] = None
+        self._gate_table: Optional[List[Optional[str]]] = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -226,6 +236,17 @@ class ExitHandlerRegistry:
             raise ValueError(f"duplicate ownership claim for {reason}")
         self._claims[reason] = claim
         self._claims_table = None
+        self._gate_table = None
+
+    def claim_grant_gate(self, reason: ExitReason, feature: str) -> None:
+        """An OoH grantable ``feature`` claims the pre-routing gate for
+        ``reason`` — the grant-layer analogue of :meth:`claim_ownership`,
+        with the same duplicate rejection."""
+        if reason in self._grant_gates:
+            raise ValueError(f"duplicate grant gate for {reason}")
+        self._grant_gates[reason] = feature
+        self._claims_table = None
+        self._gate_table = None
 
     # ------------------------------------------------------------------
     # Lookup
@@ -290,6 +311,8 @@ class ExitHandlerRegistry:
                 else:
                     claim = lambda vcpu, exit_: vcpu.level - 1
             table.append(claim)
+        gates = self._grant_gates
+        self._gate_table = [gates.get(reason) for reason in ExitReason]
         self._claims_table = table
         return table
 
@@ -301,6 +324,17 @@ class ExitHandlerRegistry:
         table = self._claims_table
         if table is None:
             table = self._build_claims_table()
+        if vcpu.level == 2:
+            # OoH grant gates: an active grant to the L1 guest
+            # hypervisor short-circuits forwarding for its reason.  A
+            # revoked or absent grant falls through to the claims —
+            # graceful degradation to forwarding.  Deeper levels always
+            # fall through (grants cover one guest-hypervisor level).
+            feature = self._gate_table[exit_.reason.index]
+            if feature is not None:
+                ooh = vcpu.vm.machine.ooh
+                if ooh is not None and ooh.active(feature):
+                    return 0
         return table[exit_.reason.index](vcpu, exit_)
 
     def _install_default_claims(self) -> None:
@@ -312,8 +346,9 @@ class ExitHandlerRegistry:
         """
         self._claims_installed = True
         from repro.core import vidle, vipi, vpassthrough, vtimer
+        from repro.ooh import grants as ooh_grants
 
-        for feature in (vpassthrough, vtimer, vipi, vidle):
+        for feature in (vpassthrough, vtimer, vipi, vidle, ooh_grants):
             feature.register_ownership(self)
 
 

@@ -77,9 +77,14 @@ class KvmHypervisor:
         vm: Optional[VirtualMachine] = None,
         dvh: Optional[DvhFeatures] = None,
         name: str = "",
+        profile: Optional[HypervisorProfile] = None,
     ) -> None:
         if (level == 0) != (vm is None):
             raise ValueError("host hypervisor has no VM; guest hypervisors need one")
+        if profile is not None:
+            # Flavour as data: an instance-level profile (e.g. XEN_PROFILE)
+            # shadows the class default; no subclass needed.
+            self.profile = profile
         self.machine = machine
         #: Machine metrics, bound once (the machine never swaps it); the
         #: dispatch path charges it on every exit.
@@ -172,11 +177,31 @@ class KvmHypervisor:
                 ectx.charge("l0_emul", c.dvh_route_check)
                 yield c.dvh_route_check
             owner = self.registry.route(vcpu, exit_)
+            ooh = self.machine.ooh
+            if ooh is not None and vcpu.level >= 2:
+                # OoH attribution: every exit whose reason a configured
+                # grant gates is counted granted or forwarded — revoked
+                # grants keep showing up in the forwarded bucket.
+                feature = ooh.feature_for(exit_.reason)
+                if feature is not None:
+                    granted = (
+                        owner == 0
+                        and vcpu.level == 2
+                        and ooh.active(feature)
+                    )
+                    ooh.record(feature, granted)
+                    if granted:
+                        ectx.granted = True
+                        ectx.charge("ooh_emul", c.ooh_grant_check)
+                        yield c.ooh_grant_check
             tracker = self.machine.chain_tracker
             if owner == 0:
                 handler, dvh_capable = self.registry.l0_handler(exit_.reason)
-                dvh_used = vcpu.level >= 2 and dvh_capable
-                ectx.handler = "l0:dvh" if dvh_used else "l0"
+                dvh_used = vcpu.level >= 2 and dvh_capable and not ectx.granted
+                if ectx.granted:
+                    ectx.handler = "l0:ooh"
+                else:
+                    ectx.handler = "l0:dvh" if dvh_used else "l0"
                 result = yield from handler(self, ectx)
                 metrics.record_l0_handled(reason_name, dvh=dvh_used)
                 if tracker is not None:
@@ -345,7 +370,9 @@ class KvmHypervisor:
             # A full exit from level m handled by the hypervisor below.
             if m <= 1:
                 return c.l0_roundtrip(c.emul_trivial)
-            reads, writes = self.OP_COUNTS[ExitReason.EXTERNAL_INTERRUPT]
+            reads, writes = self.profile.reason_op_counts(
+                ExitReason.EXTERNAL_INTERRUPT
+            )
             base = c.hw_exit + c.l0_dispatch + c.forward_state_save + c.hw_entry
             resume = (
                 c.l0_roundtrip(c.emul_vmresume_merge)
@@ -368,6 +395,16 @@ class KvmHypervisor:
         A halted target is exempt: its wake path already unwinds through
         the guest hypervisor's HLT handler, which performs the injection
         as part of resuming the nested VM."""
+        ooh = self.machine.ooh
+        if (
+            ooh is not None
+            and vcpu.level >= 2
+            and ooh.active("posted_interrupts")
+        ):
+            # OoH posted_interrupts grant: the injection used the real
+            # posted-interrupt path, so the target absorbs no exit.
+            self.metrics.record_interrupt(kind, "posted")
+            return
         if not vcpu.pcpu.halted:
             vcpu.pending_exit_work += self.injection_exit_cost(vcpu)
         self.metrics.record_interrupt(kind, "injected")
@@ -482,6 +519,23 @@ class KvmHypervisor:
         yield from ctx.compute(c.ghv_inject_sw)
         yield c.pi_descriptor_update
         target.pi_desc.post(vector)
+        ooh = self.machine.ooh
+        if self.level == 1 and ooh is not None and ooh.active("posted_interrupts"):
+            # OoH posted_interrupts grant: this guest hypervisor drives
+            # the real posted-interrupt hardware, so the notification is
+            # a plain physical IPI — no trapped ICR write, no L0
+            # intervention (Figure 4's trap simply never happens).
+            ooh.record("posted_interrupts", True)
+            cost = c.ooh_apply + c.physical_ipi
+            if ectx is not None:
+                ectx.charge("ooh_emul", cost)
+            else:
+                self.metrics.charge("ooh_emul", cost)
+            yield cost
+            host = self._hv_at(0)
+            host.deliver_posted(target, vector, ectx)
+            host.wake_target(target)
+            return None
         yield from ctx.execute(
             Op.WRMSR,
             msr=MSR_X2APIC_ICR,
@@ -511,6 +565,11 @@ class KvmHypervisor:
         if self.level == 0:
             cap.virtual_timer = self.dvh.virtual_timer
             cap.virtual_ipi = self.dvh.virtual_ipi
+            ooh = self.machine.ooh
+            if ooh is not None:
+                # OoH grants surface to the L1 guest hypervisor as
+                # hardware capability bits, like DVH's discovery bits.
+                cap.ooh_grants = ooh.configured_names()
         guest_hv.capability = cap
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -600,11 +659,18 @@ def _l0_timer(hv: KvmHypervisor, ectx: ExitContext) -> Generator:
     vcpu = ectx.vcpu
     info = ectx.exit_.info
     if vcpu.level >= 2:
-        # Virtual timer: combine the TSC offsets of every level
-        # (already folded into the merged VMCS by §3.2's rule).
-        walk = (vcpu.level - 1) * c.dvh_nested_emul
-        ectx.charge("dvh_emul", walk)
-        yield walk
+        if ectx.granted:
+            # OoH timer_deadline grant: the L1 guest hypervisor owns a
+            # real deadline-timer slot, so L0 applies the program at
+            # flat single-level cost — no per-level VMCS walk.
+            ectx.charge("ooh_emul", c.ooh_apply)
+            yield c.ooh_apply
+        else:
+            # Virtual timer: combine the TSC offsets of every level
+            # (already folded into the merged VMCS by §3.2's rule).
+            walk = (vcpu.level - 1) * c.dvh_nested_emul
+            ectx.charge("dvh_emul", walk)
+            yield walk
     ectx.charge("l0_emul", c.emul_timer_program)
     yield c.emul_timer_program
     if info.get("shadow_only"):
@@ -628,16 +694,26 @@ def _l0_ipi(hv: KvmHypervisor, ectx: ExitContext) -> Generator:
     info = ectx.exit_.info
     if info.get("notify_only"):
         # Figure 4 step 4/5: a (guest) hypervisor already updated the
-        # PI descriptor; send the physical notification.
+        # PI descriptor; send the physical notification.  Do NOT post
+        # the vector again here — if the target consumed it between the
+        # injector's descriptor update and this trapped notification, a
+        # re-post would manufacture a phantom interrupt.
         target: VCpu = info["target"]
         ectx.charge("l0_emul", c.emul_ipi_send + c.physical_ipi)
         yield c.emul_ipi_send + c.physical_ipi
-        hv.deliver_posted(target, info.get("vector", 0), ectx)
+        ectx.charge("l0_emul", c.posted_interrupt_delivery)
         hv.wake_target(target)
         return None
     dest_index = info["dest"]
     vector = info["vector"]
-    if vcpu.level >= 2:
+    if vcpu.level >= 2 and ectx.granted:
+        # OoH posted_interrupts grant: the L1 guest hypervisor drives
+        # the real posted-interrupt machinery, so L0 resolves the
+        # destination within the VM directly — flat cost, no VCIMT.
+        ectx.charge("ooh_emul", c.ooh_apply)
+        yield c.ooh_apply
+        dest = vcpu.vm.vcpus[dest_index]
+    elif vcpu.level >= 2:
         # Virtual IPI: find the destination through the virtual CPU
         # interrupt mapping table the guest hypervisor registered
         # (§3.3, Figure 5).  The emulation is a bit costlier than the

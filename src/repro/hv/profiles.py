@@ -16,6 +16,17 @@ Two profiles ship:
   trapping VMCS access patterns (its nested exit handling is less tuned
   for running *under* another hypervisor) and a split-driver I/O model
   whose notifications hop through an event channel into dom0.
+
+The paper runs Xen as the *guest* hypervisor only ("nested
+virtualization support does not work properly in recent Xen versions
+... we ran Xen only as the guest hypervisor"), with KVM as the host.
+Being hypervisor-agnostic is a selling point of virtual-passthrough
+(§3.1), and Figure 10 shows DVH-VP delivering passthrough-like
+performance under Xen too.  A Xen guest hypervisor is literally the
+same dispatch registry and handler code as KVM, parameterized by
+:data:`XEN_PROFILE` — the stack builder instantiates
+:class:`repro.hv.kvm.KvmHypervisor` with ``profile=PROFILES["xen"]``;
+there is no Xen subclass.
 """
 
 from __future__ import annotations

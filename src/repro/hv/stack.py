@@ -18,7 +18,7 @@ six bars of Figures 7/9 and the increments of Figure 8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.features import DvhFeatures
 from repro.core.vidle import enable_virtual_idle
@@ -36,6 +36,7 @@ from repro.hv.blk_backend import (
 )
 from repro.hv.kvm import KvmHypervisor
 from repro.hv.passthrough import assign_physical_device, dma_pool_pfns
+from repro.hv.profiles import PROFILES
 from repro.hv.virtio_backend import (
     GuestVhost,
     HostVhost,
@@ -43,7 +44,7 @@ from repro.hv.virtio_backend import (
     VfNicDriver,
     VirtioDriver,
 )
-from repro.hv.xen import XenHypervisor
+from repro.ooh.grants import GrantSet, GrantTable
 
 __all__ = ["StackConfig", "Stack", "build_stack"]
 
@@ -87,6 +88,12 @@ class StackConfig:
     #: ``REPRO_FAST_FORWARD`` env default, True/False force it for this
     #: stack.  Simulated results are byte-identical either way.
     fast_forward: object = None
+    #: OoH feature grants to the L1 guest hypervisor (see repro.ooh), or
+    #: None = the grant layer is absent entirely (byte-identical to a
+    #: pre-OoH build).  An empty GrantSet installs the layer with no
+    #: grants: granted-vs-forwarded attribution and dirty-tracking
+    #: pricing run, everything forwards.
+    ooh: Optional[GrantSet] = None
 
     def validate(self) -> None:
         if self.levels < 0 or self.levels > MAX_LEVELS:
@@ -101,6 +108,10 @@ class StackConfig:
             raise ValueError("timer_backend must be hrtimer or preemption")
         if self.arch not in ("x86", "arm"):
             raise ValueError("arch must be x86 or arm")
+        if self.ooh is not None:
+            # Typed GrantError/GrantConflictError at build time: a
+            # misconfigured grant never reaches a built stack.
+            self.ooh.validate(self.levels, self.io_model, self.dvh)
 
 
 class Stack:
@@ -167,6 +178,8 @@ def build_stack(config: StackConfig, machine: Machine = None) -> Stack:
             )
         else:
             machine = Machine(seed=config.seed, fast_forward=config.fast_forward)
+    if config.ooh is not None:
+        machine.ooh = GrantTable(config.ooh, machine.metrics)
     stack = Stack(config, machine)
     if config.levels == 0:
         return _build_native(stack)
@@ -232,8 +245,9 @@ def _build_virtualized(stack: Stack) -> Stack:
             vcpu.vmcs.controls.posted_interrupts = True
             vcpu_at[(m, p)] = vcpu
         if m < levels:
-            hv_cls = XenHypervisor if config.guest_hv == "xen" else KvmHypervisor
-            ghv = hv_cls(machine, level=m, vm=vm)
+            ghv = KvmHypervisor(
+                machine, level=m, vm=vm, profile=PROFILES[config.guest_hv]
+            )
             stack.hvs[m - 1].expose_capability_to(ghv)
             machine.hv_stack.append(ghv)
             stack.hvs.append(ghv)

@@ -59,6 +59,11 @@ class Machine:
         #: Attached fault injector (see repro.faults), or None for a
         #: fault-free machine.  Consulted by the migration wire.
         self.faults = None
+        #: OoH grant table (see repro.ooh), or None = no grants
+        #: configured.  Consulted by exit routing (grant gates) and the
+        #: migration dirty-tracking pricing; None keeps both paths
+        #: byte-identical to a build without the feature.
+        self.ooh = None
         #: Attached runtime invariant auditor (see repro.audit), or None
         #: = auditing off.  Instrumented sites (live migration) consult
         #: it through ``getattr``-style None guards, so an un-audited

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Optional, Set
+from typing import Any, Dict, FrozenSet, Optional, Set, Tuple
 
 __all__ = [
     "VmcsField",
@@ -103,6 +103,11 @@ class VmxCapability:
     # --- DVH capability bits ---
     virtual_timer: bool = False
     virtual_ipi: bool = False
+    # --- OoH grant discovery bits (repro.ooh) ---
+    #: Feature grants the level below exposes to this hypervisor: the
+    #: guest hypervisor discovers granted features here and programs the
+    #: real virtual feature instead of emulating.
+    ooh_grants: Tuple[str, ...] = ()
 
     def copy(self) -> "VmxCapability":
         return VmxCapability(**self.__dict__)

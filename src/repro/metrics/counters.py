@@ -38,6 +38,7 @@ class Metrics:
         "cross_host",
         "latency",
         "latency_sum",
+        "ooh",
     )
 
     def __init__(self) -> None:
@@ -75,6 +76,9 @@ class Metrics:
         #: series -> exact integer sum of recorded latencies (cycles),
         #: so histogram means are byte-identical to raw-list means.
         self.latency_sum: Counter = Counter()
+        #: (feature, "granted"|"forwarded") -> exits (or dirty-page
+        #: batches) attributed to an OoH feature grant (see repro.ooh).
+        self.ooh: Counter = Counter()
         #: Fast-forward float-charge log (see :meth:`ff_record`): None
         #: when off, else the (category, cycles) additions whose order
         #: matters for bit-exact replay.
@@ -161,6 +165,11 @@ class Metrics:
         self.latency[(series, bucket_index(cycles))] += n
         self.latency_sum[series] += cycles * n
 
+    def record_ooh(self, feature: str, granted: bool, n: int = 1) -> None:
+        """``n`` exits (or dirty-page batches) for an OoH-grantable
+        ``feature``, split by whether the grant short-circuited them."""
+        self.ooh[(feature, "granted" if granted else "forwarded")] += n
+
     def record_cross_host(
         self, src: str, dst: str, kind: str, nbytes: int
     ) -> None:
@@ -204,6 +213,18 @@ class Metrics:
 
     def total_recoveries(self) -> int:
         return sum(self.recoveries.values())
+
+    def ooh_split(self, feature: Optional[str] = None) -> tuple:
+        """``(granted, forwarded)`` totals for one OoH feature (or all)."""
+        granted = forwarded = 0
+        for (f, mode), n in self.ooh.items():
+            if feature is not None and f != feature:
+                continue
+            if mode == "granted":
+                granted += n
+            else:
+                forwarded += n
+        return granted, forwarded
 
     def latency_series(self) -> list:
         """Sorted names of every series with recorded latencies."""

@@ -1,0 +1,86 @@
+"""Granted-vs-forwarded pricing for dirty-page tracking.
+
+During live pre-copy migration of a *nested* VM, every page the guest
+dirties must be observed by whoever owns the dirty log.  Three regimes:
+
+* **forwarded** (no grant): each dirty page is a write-protection fault
+  taken by the L1 guest hypervisor — a full forwarded exit chain: the
+  fault exits to L0, is reflected into the guest hypervisor, whose
+  handler performs its trapping VMCS accesses and an emulated VMRESUME.
+  Tens of thousands of cycles per page.
+* **dirty_logging grant**: L0 fixes the write-protection fault and sets
+  the bit in the guest hypervisor's log directly — one L0 round trip
+  per page.
+* **dirty_ring grant** (PML-style): hardware appends the dirty GPA to a
+  buffer; the only exits are buffer-full flushes every
+  :data:`PML_BUFFER_ENTRIES` pages.  Tens of cycles per page.
+
+The hypervisor-instruction timing-simulation literature grounds the
+shape: composite costs are sums of the same leaf costs the trap path
+charges (:class:`repro.sim.costs.CostModel`), with the forwarded regime
+priced from the owning guest hypervisor's per-exit op counts.
+"""
+
+from __future__ import annotations
+
+from repro.hw.ops import ExitReason
+
+__all__ = [
+    "PML_BUFFER_ENTRIES",
+    "forwarded_dirty_page_cycles",
+    "granted_dirty_page_cycles",
+    "dirty_ring_cycles",
+    "dirty_tracking_cycles",
+]
+
+#: Entries in the hardware page-modification-log buffer (Intel PML: 512
+#: 8-byte GPA entries per 4 KB buffer page).
+PML_BUFFER_ENTRIES = 512
+
+
+def forwarded_dirty_page_cycles(costs, profile) -> int:
+    """One dirty page tracked by the L1 guest hypervisor *without* a
+    grant: the write-protection fault is forwarded, the guest
+    hypervisor's EPT-violation handler runs (trapping per its profile's
+    op counts), and the nested VM resumes via an emulated VMRESUME."""
+    c = costs
+    reads, writes = profile.reason_op_counts(ExitReason.EPT_VIOLATION)
+    return (
+        c.hw_exit
+        + c.l0_dispatch
+        + c.forward_state_save
+        + c.hw_entry
+        + c.ghv_handler_sw
+        + c.dirty_fault_fix
+        + (reads + writes) * c.l0_roundtrip(c.emul_vmcs_access)
+        + c.l0_roundtrip(c.emul_vmresume_merge)
+    )
+
+
+def granted_dirty_page_cycles(costs) -> int:
+    """One dirty page with the ``dirty_logging`` grant: L0 fixes the
+    write-protection fault and marks the granted log in one round trip."""
+    return costs.l0_roundtrip(costs.dirty_fault_fix)
+
+
+def dirty_ring_cycles(costs, pages: int) -> int:
+    """``pages`` dirty pages with the ``dirty_ring`` grant: hardware
+    logs each GPA; only full-buffer flushes exit."""
+    if pages <= 0:
+        return 0
+    flushes = -(-pages // PML_BUFFER_ENTRIES)  # ceil division
+    return pages * costs.pml_log_entry + flushes * costs.l0_roundtrip(
+        costs.pml_flush
+    )
+
+
+def dirty_tracking_cycles(costs, profile, pages: int, mode) -> int:
+    """Cycles to track ``pages`` dirty pages under ``mode`` (None or
+    "forwarded" = no grant; "dirty_logging"; "dirty_ring")."""
+    if pages <= 0:
+        return 0
+    if mode == "dirty_ring":
+        return dirty_ring_cycles(costs, pages)
+    if mode == "dirty_logging":
+        return pages * granted_dirty_page_cycles(costs)
+    return pages * forwarded_dirty_page_cycles(costs, profile)

@@ -148,6 +148,24 @@ class CostModel:
     eoi_virtualized: int = 60
 
     # ------------------------------------------------------------------
+    # OoH feature grants (repro.ooh)
+    # ------------------------------------------------------------------
+    #: L0 validates a granted exit against the grant table before
+    #: applying the feature's effect.
+    ooh_grant_check: int = 90
+    #: Apply a granted feature's effect at single-level cost: the L1
+    #: guest hypervisor programmed the real virtual feature, so there is
+    #: no per-level VMCS walk to perform.
+    ooh_apply: int = 350
+    #: Fix one write-protection dirty fault and set the dirty-log bit
+    #: (page-table update + bitmap write), whoever owns the log.
+    dirty_fault_fix: int = 1800
+    #: Hardware appends one dirty GPA to the PML buffer (dirty ring).
+    pml_log_entry: int = 12
+    #: Drain a full PML buffer into the owning dirty log.
+    pml_flush: int = 2400
+
+    # ------------------------------------------------------------------
     # Memory / EPT
     # ------------------------------------------------------------------
     #: Hardware page walk on EPT fill (violation handling software cost).

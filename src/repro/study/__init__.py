@@ -1,0 +1,34 @@
+"""repro.study — the baseline vs DVH vs OoH vs DVH+OoH head-to-head.
+
+``python -m repro study`` runs the 4-variant configuration matrix over
+Table-3 micro-ops (KVM and Xen guest hypervisors), app workloads, and
+two live-migration scenarios, then prints a ranked report showing where
+each approach wins and where they compose.  See
+:mod:`repro.study.harness` for the variant definitions and determinism
+guarantees.
+"""
+
+from repro.study.harness import (
+    CLUSTER_GRANTS,
+    VARIANTS,
+    StudyResult,
+    StudySpec,
+    run_study,
+    study_cell,
+    study_tasks,
+    variant_config,
+)
+from repro.study.report import render_study, scenario_rankings
+
+__all__ = [
+    "CLUSTER_GRANTS",
+    "VARIANTS",
+    "StudyResult",
+    "StudySpec",
+    "run_study",
+    "study_cell",
+    "study_tasks",
+    "variant_config",
+    "render_study",
+    "scenario_rankings",
+]

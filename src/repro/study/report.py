@@ -1,0 +1,159 @@
+"""Render a :class:`~repro.study.harness.StudyResult` as a ranked
+head-to-head report: per-scenario tables plus the headline comparisons
+(where OoH beats DVH, where DVH beats OoH, and where they compose)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.study.harness import StudyResult
+
+__all__ = ["render_study", "scenario_rankings"]
+
+
+def _rank(rows: List[dict], key: str, higher_is_better: bool = False
+          ) -> List[Tuple[str, float]]:
+    """(variant, value) pairs, best first."""
+    pairs = [(r["variant"], r[key]) for r in rows]
+    return sorted(pairs, key=lambda kv: -kv[1] if higher_is_better else kv[1])
+
+
+def scenario_rankings(result: StudyResult) -> Dict[str, List[Tuple[str, float]]]:
+    """Best-first variant rankings per scenario cell, keyed
+    ``scenario/qualifier`` — the machine-readable ranking the text
+    report renders."""
+    rankings: Dict[str, List[Tuple[str, float]]] = {}
+    micro = result.by_scenario("micro")
+    for guest_hv in dict.fromkeys(r["guest_hv"] for r in micro):
+        for bench in dict.fromkeys(
+            r["bench"] for r in micro if r["guest_hv"] == guest_hv
+        ):
+            cell = [
+                r for r in micro
+                if r["guest_hv"] == guest_hv and r["bench"] == bench
+            ]
+            rankings[f"micro/{guest_hv}/{bench}"] = _rank(cell, "cycles")
+    apps = result.by_scenario("app")
+    for app in dict.fromkeys(r["app"] for r in apps):
+        cell = [r for r in apps if r["app"] == app]
+        hib = cell[0]["higher_is_better"]
+        rankings[f"app/{app}"] = _rank(cell, "value", higher_is_better=hib)
+    for scenario in ("migration", "cluster"):
+        cell = result.by_scenario(scenario)
+        if cell:
+            rankings[f"{scenario}/dirty_tracking"] = _rank(
+                cell, "dirty_tracking_cycles"
+            )
+    return rankings
+
+
+def _winner_counts(rankings: Dict[str, List[Tuple[str, float]]]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for ranked in rankings.values():
+        if ranked:
+            winner = ranked[0][0]
+            counts[winner] = counts.get(winner, 0) + 1
+    return counts
+
+
+def render_study(result: StudyResult) -> str:
+    lines = [
+        f"head-to-head study '{result.spec_name}' (seed {result.seed})",
+        f"digest {result.digest[:16]} (byte-identical across --jobs and "
+        "fast-forward modes)",
+    ]
+    variants = list(dict.fromkeys(r["variant"] for r in result.rows))
+    width = max((len(v) for v in variants), default=8) + 2
+
+    micro = result.by_scenario("micro")
+    if micro:
+        lines.append("")
+        lines.append("Table-3 micro-ops (cycles/op, lower is better):")
+        header = f"  {'bench':<22}" + "".join(f"{v:>{width + 6}}" for v in variants)
+        lines.append(header)
+        for guest_hv in dict.fromkeys(r["guest_hv"] for r in micro):
+            lines.append(f"  [{guest_hv} guest hypervisor]")
+            for bench in dict.fromkeys(
+                r["bench"] for r in micro if r["guest_hv"] == guest_hv
+            ):
+                cell = {
+                    r["variant"]: r["cycles"]
+                    for r in micro
+                    if r["guest_hv"] == guest_hv and r["bench"] == bench
+                }
+                best = min(cell.values())
+                row = f"  {bench:<22}"
+                for v in variants:
+                    mark = "*" if cell[v] == best else " "
+                    row += f"{cell[v]:>{width + 5},.0f}{mark}"
+                lines.append(row)
+
+    apps = result.by_scenario("app")
+    if apps:
+        lines.append("")
+        lines.append("application workloads (* = best):")
+        for app in dict.fromkeys(r["app"] for r in apps):
+            cell = [r for r in apps if r["app"] == app]
+            hib = cell[0]["higher_is_better"]
+            best = (max if hib else min)(r["value"] for r in cell)
+            unit = cell[0]["unit"]
+            row = f"  {app:<22}"
+            for v in variants:
+                r = next(c for c in cell if c["variant"] == v)
+                mark = "*" if r["value"] == best else " "
+                row += f"{r['value']:>{width + 5},.1f}{mark}"
+            lines.append(row + f"  [{unit}]")
+
+    for scenario, title in (
+        ("migration", "nested live migration (single machine)"),
+        ("cluster", "cross-host cluster migration"),
+    ):
+        cell = result.by_scenario(scenario)
+        if not cell:
+            continue
+        lines.append("")
+        lines.append(f"{title}:")
+        lines.append(
+            f"  {'variant':<{width}} {'tracking cy':>14} {'downtime ms':>12} "
+            f"{'granted pg':>11} {'forwarded pg':>13}"
+        )
+        best = min(r["dirty_tracking_cycles"] for r in cell)
+        for r in cell:
+            mark = "*" if r["dirty_tracking_cycles"] == best else " "
+            lines.append(
+                f"  {r['variant']:<{width}} "
+                f"{r['dirty_tracking_cycles']:>13,}{mark} "
+                f"{r['downtime_s'] * 1e3:>12.3f} "
+                f"{r['pages_granted']:>11,} {r['pages_forwarded']:>13,}"
+            )
+
+    rankings = scenario_rankings(result)
+    lines.append("")
+    lines.append("headline (wins per scenario cell, best-ranked variant):")
+    for variant, wins in sorted(
+        _winner_counts(rankings).items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"  {variant:<{width}} {wins} cell(s)")
+
+    # The composition story, spelled out where the data shows it.
+    def ranked(key):
+        return {v: i for i, (v, _val) in enumerate(rankings.get(key, []))}
+
+    io_cells = [k for k in rankings if k.startswith("micro/") and "DevNotify" in k]
+    for k in io_cells:
+        order = ranked(k)
+        if "dvh" in order and "ooh" in order and order["dvh"] < order["ooh"]:
+            lines.append(
+                f"  DVH beats OoH on the I/O path ({k}): virtual-passthrough "
+                "short-circuits device notifications OoH still forwards"
+            )
+            break
+    for k in ("migration/dirty_tracking", "cluster/dirty_tracking"):
+        order = ranked(k)
+        if "dvh" in order and "ooh" in order and order["ooh"] < order["dvh"]:
+            lines.append(
+                f"  OoH beats DVH on dirty-logging-heavy migration ({k}): "
+                "granted tracking prices per-page work at single-level cost"
+            )
+            break
+    return "\n".join(lines)

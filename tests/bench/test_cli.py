@@ -121,3 +121,86 @@ def test_analyze_command(capsys):
     assert main(["analyze", "hackbench", "--scale", "0.1"]) == 0
     out = capsys.readouterr().out
     assert "— forwarded" in out
+
+
+# ----------------------------------------------------------------------
+# Flag parity: every leaf subcommand accepts the uniform flag set
+# ----------------------------------------------------------------------
+#: Minimal valid argv for every leaf subcommand the parser defines.
+LEAF_COMMANDS = [
+    ["table3"],
+    ["figure", "7"],
+    ["migration"],
+    ["micro", "Hypercall"],
+    ["trace"],
+    ["analyze", "hackbench"],
+    ["app", "hackbench"],
+    ["faults", "fuzz"],
+    ["faults", "plan"],
+    ["cluster", "demo"],
+    ["cluster", "migrate"],
+    ["cluster", "sweep"],
+    ["dc", "demo"],
+    ["dc", "run"],
+    ["dc", "sweep"],
+    ["dc", "validate"],
+    ["slo"],
+    ["study"],
+    ["audit"],
+]
+
+
+@pytest.mark.parametrize("argv", LEAF_COMMANDS, ids=lambda a: "-".join(a))
+def test_flag_parity_on_every_subcommand(argv):
+    args = build_parser().parse_args(
+        argv
+        + ["--seed", "7", "--no-fast-forward", "--audit", "--jobs", "3",
+           "--json"]
+    )
+    assert args.seed == 7
+    assert args.no_fast_forward is True
+    assert args.audit is True
+    assert args.jobs == 3
+    assert args.json is True
+
+
+@pytest.mark.parametrize("argv", LEAF_COMMANDS, ids=lambda a: "-".join(a))
+def test_pre_subcommand_seed_survives(argv):
+    """SUPPRESS defaults: `repro --seed 9 <cmd>` keeps seed 9 even
+    though the subcommand defines its own --seed."""
+    args = build_parser().parse_args(["--seed", "9"] + argv)
+    assert args.seed == 9
+    assert args.no_fast_forward is False
+
+
+def test_study_command_renders_report(capsys):
+    import json as json_mod
+
+    spec = {
+        "name": "cli-trim",
+        "variants": ["baseline", "dvh"],
+        "micro_benches": ["Hypercall"],
+        "micro_guest_hvs": ["kvm"],
+        "micro_iterations": 3,
+        "app_names": [],
+        "migration": False,
+        "cluster_hosts": 0,
+    }
+    import tempfile
+
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+        json_mod.dump(spec, fh)
+        path = fh.name
+    assert main(["study", "--spec", path]) == 0
+    out = capsys.readouterr().out
+    assert "head-to-head study 'cli-trim'" in out
+    assert "Hypercall" in out
+    assert main(["study", "--spec", path, "--json"]) == 0
+    data = json_mod.loads(capsys.readouterr().out)
+    assert data["spec"] == "cli-trim"
+    assert len(data["rows"]) == 2
+
+
+def test_study_command_rejects_bad_spec(capsys):
+    assert main(["study", "--spec", "/nonexistent/spec.json"]) == 1
+    assert "spec error" in capsys.readouterr().out

@@ -8,7 +8,6 @@ from repro.hv.dispatch import DEFAULT_REGISTRY, ExitContext, ExitHandlerRegistry
 from repro.hv.kvm import KvmHypervisor
 from repro.hv.profiles import KVM_PROFILE, PROFILES, XEN_PROFILE
 from repro.hv.stack import StackConfig, build_stack
-from repro.hv.xen import XenHypervisor
 from repro.hw.ops import MSR_X2APIC_ICR, ExitReason, Op
 from repro.workloads.microbench import run_microbenchmark
 
@@ -195,15 +194,21 @@ def test_dvh_capable_marking_matches_the_four_mechanisms():
 # Profiles: Xen is data, not overrides
 # ----------------------------------------------------------------------
 def test_xen_defines_no_behavior():
-    """The whole point of the profile refactor: XenHypervisor carries
-    profile data only — no handler or dispatch method overrides."""
-    overridden = {
-        name
-        for name, value in vars(XenHypervisor).items()
-        if not name.startswith("__") and callable(value)
-    }
-    assert overridden == set()
-    assert XenHypervisor.profile is XEN_PROFILE
+    """The endpoint of the profile refactor: there is no Xen subclass at
+    all — a Xen guest hypervisor is KvmHypervisor parameterized by
+    XEN_PROFILE, and the stack builder wires exactly that."""
+    import repro.hv as hv_pkg
+
+    assert not hasattr(hv_pkg, "XenHypervisor")
+    with pytest.raises(ModuleNotFoundError):
+        import repro.hv.xen  # noqa: F401
+    stack = build_stack(StackConfig(levels=2, guest_hv="xen"))
+    ghv = stack.hvs[1]
+    assert type(ghv) is KvmHypervisor
+    assert ghv.profile is XEN_PROFILE
+    # The host L0 stays on the KVM profile (class default untouched).
+    assert stack.hvs[0].profile is KVM_PROFILE
+    assert KvmHypervisor.profile is KVM_PROFILE
 
 
 def test_profiles_registry_and_reason_op_counts():
@@ -220,6 +225,6 @@ def test_profiles_registry_and_reason_op_counts():
 
 
 def test_xen_split_driver_costs_come_from_profile():
-    assert XEN_PROFILE.io_notify_sw == XenHypervisor.EVENT_CHANNEL_SW == 1400
+    assert XEN_PROFILE.io_notify_sw == 1400
     assert XEN_PROFILE.io_notify_hypercall == "evtchn_send"
     assert KVM_PROFILE.io_notify_sw == 0

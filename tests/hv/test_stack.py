@@ -4,8 +4,8 @@ import pytest
 
 from repro.core.features import DvhFeatures
 from repro.hv.kvm import KvmHypervisor
+from repro.hv.profiles import KVM_PROFILE, XEN_PROFILE
 from repro.hv.stack import StackConfig, build_stack
-from repro.hv.xen import XenHypervisor
 from repro.hw.machine import GB
 
 
@@ -61,9 +61,9 @@ def test_one_to_one_pinning():
 
 def test_xen_guest_hypervisor_selected():
     stack = build_stack(StackConfig(levels=2, guest_hv="xen"))
-    assert isinstance(stack.hvs[1], XenHypervisor)
-    assert isinstance(stack.hvs[0], KvmHypervisor)
-    assert not isinstance(stack.hvs[0], XenHypervisor)  # host stays KVM
+    assert type(stack.hvs[1]) is KvmHypervisor
+    assert stack.hvs[1].profile is XEN_PROFILE
+    assert stack.hvs[0].profile is KVM_PROFILE  # host stays KVM
 
 
 def test_capability_chain_propagates_dvh_bits():

@@ -1,18 +1,26 @@
-"""Tests for the Xen guest-hypervisor flavour (Figure 10)."""
+"""Tests for the Xen guest-hypervisor flavour (Figure 10).
+
+Xen is pure profile data now — :data:`repro.hv.profiles.XEN_PROFILE`
+threaded through the shared :class:`~repro.hv.kvm.KvmHypervisor` — so
+these tests pin the Xen figures byte-for-byte against the values the
+subclass produced before it was collapsed.
+"""
+
+import pytest
 
 from repro.hv.kvm import KvmHypervisor
+from repro.hv.profiles import KVM_PROFILE, XEN_PROFILE
 from repro.hv.stack import StackConfig, build_stack
-from repro.hv.xen import XenHypervisor
 from repro.hw.ops import ExitReason, Op
 from repro.workloads.microbench import run_microbenchmark
 
 
 def test_xen_op_counts_heavier_than_kvm():
     for reason in ExitReason:
-        if reason not in KvmHypervisor.OP_COUNTS:
+        if reason not in KVM_PROFILE.op_counts:
             continue
-        kr, kw = KvmHypervisor.OP_COUNTS[reason]
-        xr, xw = XenHypervisor.OP_COUNTS[reason]
+        kr, kw = KVM_PROFILE.reason_op_counts(reason)
+        xr, xw = XEN_PROFILE.reason_op_counts(reason)
         assert xr > kr and xw > kw
 
 
@@ -22,6 +30,21 @@ def test_xen_nested_exits_cost_more():
     kvm_cost = run_microbenchmark(kvm, "Hypercall", 20)
     xen_cost = run_microbenchmark(xen, "Hypercall", 20)
     assert xen_cost > kvm_cost * 1.2
+
+
+@pytest.mark.parametrize(
+    "name,levels,expected",
+    [
+        # Captured from the XenHypervisor subclass immediately before it
+        # was deleted; the profile-driven build must not move a cycle.
+        ("Hypercall", 2, 53_047.0),
+        ("DevNotify", 2, 63_677.0),
+        ("ProgramTimer", 3, 1_616_200.0),
+    ],
+)
+def test_xen_figures_byte_identical_to_subclass(name, levels, expected):
+    stack = build_stack(StackConfig(levels=levels, guest_hv="xen"))
+    assert run_microbenchmark(stack, name, 30) == expected
 
 
 def test_xen_io_notification_adds_event_channel_hypercall():
@@ -70,3 +93,10 @@ def test_xen_works_with_virtual_passthrough_unmodified():
     stack.sim.run_process(kick())
     delta = stack.metrics.diff(before)
     assert delta.guest_hv_interventions() == 0
+
+
+def test_xen_profile_is_an_instance_attribute_only():
+    """Profile injection must not leak through the ClassVar."""
+    xen = build_stack(StackConfig(levels=2, guest_hv="xen"))
+    assert "profile" in vars(xen.hvs[1])
+    assert KvmHypervisor.profile is KVM_PROFILE

@@ -1,0 +1,120 @@
+"""Dirty-tracking pricing: forwarded vs dirty_logging vs dirty_ring,
+the migration wire-in, and per-tenant cluster grants."""
+
+import pytest
+
+from repro.hv.profiles import KVM_PROFILE, XEN_PROFILE
+from repro.ooh.pricing import (
+    PML_BUFFER_ENTRIES,
+    dirty_ring_cycles,
+    dirty_tracking_cycles,
+    forwarded_dirty_page_cycles,
+    granted_dirty_page_cycles,
+)
+from repro.sim.costs import CostModel
+
+COSTS = CostModel()
+
+
+# ----------------------------------------------------------------------
+# The three pricing regimes
+# ----------------------------------------------------------------------
+def test_regime_ordering_per_page():
+    forwarded = forwarded_dirty_page_cycles(COSTS, KVM_PROFILE)
+    granted = granted_dirty_page_cycles(COSTS)
+    ring = dirty_ring_cycles(COSTS, 10_000) / 10_000
+    assert ring < granted < forwarded
+    # The gap is the point: forwarding a dirty fault costs a full exit
+    # chain, an order of magnitude past the granted single round trip.
+    assert forwarded > 10 * granted
+
+
+def test_forwarded_pricing_follows_the_guest_hv_profile():
+    assert forwarded_dirty_page_cycles(
+        COSTS, XEN_PROFILE
+    ) > forwarded_dirty_page_cycles(COSTS, KVM_PROFILE)
+
+
+def test_dirty_ring_flushes_per_buffer():
+    per_entry = COSTS.pml_log_entry
+    flush = COSTS.l0_roundtrip(COSTS.pml_flush)
+    assert dirty_ring_cycles(COSTS, PML_BUFFER_ENTRIES) == (
+        PML_BUFFER_ENTRIES * per_entry + flush
+    )
+    assert dirty_ring_cycles(COSTS, PML_BUFFER_ENTRIES + 1) == (
+        (PML_BUFFER_ENTRIES + 1) * per_entry + 2 * flush
+    )
+
+
+def test_dispatch_on_mode():
+    pages = 100
+    assert dirty_tracking_cycles(COSTS, KVM_PROFILE, pages, None) == (
+        pages * forwarded_dirty_page_cycles(COSTS, KVM_PROFILE)
+    )
+    assert dirty_tracking_cycles(
+        COSTS, KVM_PROFILE, pages, "dirty_logging"
+    ) == pages * granted_dirty_page_cycles(COSTS)
+    assert dirty_tracking_cycles(
+        COSTS, KVM_PROFILE, pages, "dirty_ring"
+    ) == dirty_ring_cycles(COSTS, pages)
+    assert dirty_tracking_cycles(COSTS, KVM_PROFILE, 0, "dirty_ring") == 0
+
+
+# ----------------------------------------------------------------------
+# Migration wire-in (the study's headline comparison, in miniature)
+# ----------------------------------------------------------------------
+def test_migration_prices_tracking_by_grant_mode():
+    from repro.study.harness import _migration_cell
+
+    baseline = _migration_cell("baseline", 0)
+    ooh = _migration_cell("ooh", 0)
+    assert baseline["pages_forwarded"] > 0 and baseline["pages_granted"] == 0
+    assert ooh["pages_granted"] > 0 and ooh["pages_forwarded"] == 0
+    assert ooh["dirty_tracking_cycles"] < baseline["dirty_tracking_cycles"]
+    # Same migration either way: tracking is priced, not re-simulated.
+    assert ooh["rounds"] == baseline["rounds"]
+    assert ooh["bytes_transferred"] == baseline["bytes_transferred"]
+
+
+def test_migration_without_ooh_layer_is_untouched():
+    """A stack built without the OoH layer charges no tracking at all —
+    the pre-existing migration pins stay byte-identical."""
+    from repro.core.migration import LiveMigration
+    from repro.hv.stack import StackConfig, build_stack
+
+    stack = build_stack(StackConfig(levels=2, io_model="virtio"))
+    stack.settle()
+    mig = LiveMigration(stack.machine, stack.leaf_vm)
+    stack.sim.run_process(mig.run(), "plain-mig")
+    assert stack.machine.ooh is None
+    assert stack.metrics.cycles.get("dirty_tracking", 0) == 0
+
+
+# ----------------------------------------------------------------------
+# Cluster tenants carry grants in their spec
+# ----------------------------------------------------------------------
+def test_tenant_spec_validates_grants():
+    from repro.cluster import TenantSpec
+    from repro.ooh.grants import GrantConflictError, UnknownGrantError
+
+    with pytest.raises(UnknownGrantError):
+        TenantSpec(name="t", io_model="vp", memory_gb=4, grants=("bogus",))
+    with pytest.raises(GrantConflictError):
+        TenantSpec(
+            name="t", io_model="passthrough", memory_gb=4,
+            grants=("dirty_logging",),
+        )
+
+
+def test_tenant_grants_install_on_the_hosting_machine():
+    from repro.cluster import Cluster, TenantSpec
+
+    cluster = Cluster(num_hosts=1, seed=0, policy="spread")
+    cluster.place(
+        TenantSpec(
+            name="t0", io_model="vp", memory_gb=8, grants=("dirty_logging",)
+        )
+    )
+    host = cluster.host_of("t0")
+    assert host.machine.ooh is not None
+    assert host.machine.ooh.active("dirty_logging")
