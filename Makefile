@@ -1,7 +1,7 @@
 # Convenience targets for the DVH reproduction.
 
 .PHONY: install test lint bench bench-perf bench-perf-check fuzz fuzz-smoke \
-	audit audit-smoke figures examples clean
+	audit audit-smoke scenarios scenarios-smoke figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -39,6 +39,24 @@ audit:
 
 audit-smoke:
 	PYTHONPATH=src python -m repro audit --episodes 25 --seed 1
+
+# Constrained-random scenarios (see docs/scenarios.md).  The full run is
+# the documented 200-scenario audited campaign; the smoke run is wired
+# into CI and checks seed-stable replay both ways: gen twice must be
+# byte-identical, and the same campaign must pass serial, under --jobs,
+# and with fast-forward disabled.
+scenarios:
+	PYTHONPATH=src python -m repro scenarios run --count 200 --seed 0 --jobs 0 --audit
+
+scenarios-smoke:
+	PYTHONPATH=src python -m repro scenarios gen --count 20 --seed 1 > /tmp/scen_a.jsonl
+	PYTHONPATH=src python -m repro scenarios gen --count 20 --seed 1 > /tmp/scen_b.jsonl
+	diff /tmp/scen_a.jsonl /tmp/scen_b.jsonl
+	PYTHONPATH=src python -m repro scenarios run --count 10 --seed 1 --json > /tmp/scen_run_serial.json
+	PYTHONPATH=src python -m repro scenarios run --count 10 --seed 1 --json --jobs 2 > /tmp/scen_run_jobs.json
+	diff /tmp/scen_run_serial.json /tmp/scen_run_jobs.json
+	REPRO_FAST_FORWARD=0 PYTHONPATH=src python -m repro scenarios run --count 10 --seed 1 --json > /tmp/scen_run_noff.json
+	diff /tmp/scen_run_serial.json /tmp/scen_run_noff.json
 
 # Host-performance regression baselines (see docs/performance.md).
 bench-perf:

@@ -71,6 +71,21 @@ def bench_study_slice() -> Dict[str, object]:
     return {"spec": spec.name, "wall_s": perf_counter() - t0}
 
 
+#: The scenario-generator slice: generate a small campaign and run it
+#: serially (both topologies, all three arches — dominated by stack
+#: builds, so it guards the cross-arch build/dispatch hot path).
+SCENARIO_SLICE = {"seed": 0, "count": 6}
+
+
+def bench_scenario_gen_slice() -> Dict[str, object]:
+    from repro.scenarios import generate_specs, run_scenarios
+
+    t0 = perf_counter()
+    specs = generate_specs(**SCENARIO_SLICE)
+    run_scenarios(specs)
+    return {"count": SCENARIO_SLICE["count"], "wall_s": perf_counter() - t0}
+
+
 def bench_tier1() -> Dict[str, float]:
     """Time the full tier-1 suite in a subprocess."""
     env = dict(os.environ)
@@ -97,6 +112,7 @@ def run_benchmarks(tier1: bool, carry_from: Optional[str] = None) -> Dict[str, o
         "table3_slice": bench_table3_slice(),
         "app_figure_slice": bench_app_figure_slice(),
         "study_slice": bench_study_slice(),
+        "scenario_gen": bench_scenario_gen_slice(),
         "host": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
@@ -126,7 +142,7 @@ def check_against(
     with open(baseline_path) as fh:
         base = json.load(fh)
     failures = []
-    for key in ("table3_slice", "app_figure_slice", "study_slice"):
+    for key in ("table3_slice", "app_figure_slice", "study_slice", "scenario_gen"):
         if key not in base:
             # Baseline predates this slice: measure but don't gate.
             print(f"{key:18s} {results[key]['wall_s']:.2f}s (no baseline)")
@@ -173,6 +189,7 @@ def main(argv=None) -> int:
     print(f"table3 slice      {results['table3_slice']['wall_s']:.2f}s")
     print(f"app figure slice  {results['app_figure_slice']['wall_s']:.2f}s")
     print(f"study slice       {results['study_slice']['wall_s']:.2f}s")
+    print(f"scenario gen      {results['scenario_gen']['wall_s']:.2f}s")
     if "tier1" in results:
         t1 = results["tier1"]
         print(

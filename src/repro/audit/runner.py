@@ -1,6 +1,6 @@
 """``python -m repro audit`` — drive the fault matrix under audit.
 
-Four scenario families, every one with an :class:`~repro.audit.Auditor`
+Five scenario families, every one with an :class:`~repro.audit.Auditor`
 attached (and therefore every lifecycle/conservation invariant armed):
 
 1. **Single-machine migration matrix** — clean wire plus each
@@ -14,7 +14,10 @@ attached (and therefore every lifecycle/conservation invariant armed):
    fault plan.  Fabric byte conservation is checked at the end of each;
 3. **Traced microbenchmark** — span-level cycle attribution reconciled
    against Metrics (cycle conservation per exit chain);
-4. **Fuzz campaign** — the NecoFuzz-style trap-chain fuzzer, whose
+4. **Generated scenarios** — a slice of the constrained-random
+   scenario generator's output (:mod:`repro.scenarios`), covering both
+   topologies and all three modeled architectures, audited end to end;
+5. **Fuzz campaign** — the NecoFuzz-style trap-chain fuzzer, whose
    per-episode invariants now include the resource-lifecycle audits.
 
 Reverting the migration-lifecycle fixes in
@@ -376,6 +379,31 @@ def _fuzz_scenario(seed: int, episodes: int) -> AuditScenario:
 
 
 # ----------------------------------------------------------------------
+# Scenario family 5: generated scenarios (constrained-random stimulus)
+# ----------------------------------------------------------------------
+def _generated_scenarios(seed: int, count: int = 8) -> AuditScenario:
+    from repro.scenarios import generate_specs, run_scenarios
+
+    specs = generate_specs(seed=seed, count=count)
+    results = run_scenarios(specs, audit=True)
+    violations = [
+        f"scenario {r['index']} ({r['desc']}, seed {r['seed']}): {v}"
+        for r in results
+        for v in (
+            r["violations"]
+            if r["outcome"] == "ok"
+            else r["violations"] + [r["outcome"]]
+        )
+    ]
+    archs = ",".join(sorted({s.arch for s in specs}))
+    return AuditScenario(
+        name=f"scenarios/{count}-generated",
+        violations=violations,
+        detail=f"{len(results)} scenarios across {archs}",
+    )
+
+
+# ----------------------------------------------------------------------
 def run_audit(
     seed: int = 0,
     episodes: int = 500,
@@ -394,6 +422,7 @@ def run_audit(
     for scenario in _cluster_scenarios(seed):
         add(scenario)
     add(_traced_scenario(seed))
+    add(_generated_scenarios(seed))
     if episodes > 0:
         add(_fuzz_scenario(seed, episodes))
     return run

@@ -25,6 +25,7 @@ and at any jobs count.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -118,7 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--io", default=None, choices=["native", "virtio", "passthrough", "vp"]
         )
         p.add_argument("--dvh", default="none", choices=sorted(DVH_PRESETS))
-        p.add_argument("--guest-hv", default="kvm", choices=["kvm", "xen"])
+        p.add_argument("--guest-hv", default="kvm", choices=["kvm", "xen", "hs"])
+        p.add_argument(
+            "--arch",
+            default="x86",
+            choices=["x86", "arm", "riscv"],
+            help="platform cost profile (riscv implies the hs guest "
+            "hypervisor with hedeleg/hideleg trap delegation)",
+        )
 
     def add_slo_arg(p):
         p.add_argument(
@@ -253,7 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
             default="bin-pack",
             choices=["bin-pack", "spread", "load-balance"],
         )
-        p.add_argument("--guest-hv", default="kvm", choices=["kvm", "xen"])
+        p.add_argument("--guest-hv", default="kvm", choices=["kvm", "xen", "hs"])
+        p.add_argument(
+            "--arch", default="x86", choices=["x86", "arm", "riscv"],
+            help="platform cost profile for every host in the cluster",
+        )
         p.add_argument(
             "--faults",
             nargs="*",
@@ -389,6 +401,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common_args(audit)
 
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="constrained-random scenarios: generate, run, or shrink "
+        "(one seeded generator behind the fuzzer, audit and sweeps)",
+    )
+    scsub = scenarios.add_subparsers(dest="mode", required=True)
+
+    def add_scenario_args(p):
+        p.add_argument(
+            "--count", type=int, default=10, help="scenarios to generate"
+        )
+        p.add_argument(
+            "--arch",
+            nargs="*",
+            choices=["x86", "arm", "riscv"],
+            default=None,
+            help="restrict the architecture pool (default: all three)",
+        )
+        add_common_args(p)
+
+    gen = scsub.add_parser(
+        "gen",
+        help="print canonical scenario specs, one JSON line each "
+        "(same seed => byte-identical bytes)",
+    )
+    add_scenario_args(gen)
+
+    run_p = scsub.add_parser(
+        "run", help="generate AND run scenarios, checking invariants"
+    )
+    add_scenario_args(run_p)
+
+    shrink = scsub.add_parser(
+        "shrink", help="greedily minimize one failing scenario"
+    )
+    shrink.add_argument(
+        "--index", type=int, default=0, help="scenario index within the seed"
+    )
+    add_scenario_args(shrink)
+
     return parser
 
 
@@ -407,6 +459,7 @@ def _stack_config(args) -> StackConfig:
         dvh=DVH_PRESETS[args.dvh](),
         guest_hv=args.guest_hv,
         seed=args.seed,
+        arch=getattr(args, "arch", "x86"),
     )
 
 
@@ -518,6 +571,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "study":
         return _run_study(args)
+
+    if args.command == "scenarios":
+        return _run_scenarios(args)
 
     if args.command == "audit":
         from repro.audit.runner import render_audit, run_audit
@@ -661,6 +717,65 @@ def _run_faults(args) -> int:
     return 0
 
 
+def _run_scenarios(args) -> int:
+    """The ``scenarios`` subcommand: gen, run, shrink."""
+    import json
+
+    from repro.scenarios import generate_specs, run_scenarios, shrink_scenario
+
+    arches = tuple(args.arch) if args.arch else ("x86", "arm", "riscv")
+    specs = generate_specs(seed=args.seed, count=args.count, arches=arches)
+
+    if args.mode == "gen":
+        # Streams one spec per line; a downstream `head` closing the
+        # pipe early is a normal way to consume it, not an error.
+        try:
+            for spec in specs:
+                print(spec.to_json())
+            sys.stdout.flush()
+        except BrokenPipeError:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+    if args.mode == "run":
+        jobs = args.jobs if args.jobs != 1 else None
+        results = run_scenarios(specs, jobs=jobs, audit=args.audit)
+        if args.json:
+            print(json.dumps(results, indent=2, sort_keys=True))
+        else:
+            width = max(len(r["desc"]) for r in results) + 2
+            for r in results:
+                status = (
+                    "ok"
+                    if r["outcome"] == "ok" and not r["violations"]
+                    else f"{r['outcome']} ({len(r['violations'])} violation(s))"
+                )
+                print(
+                    f"  [{r['index']:>3}] {r['desc']:<{width}} {status}  "
+                    f"digest={r['digest'][:12]}"
+                )
+        bad = [r for r in results if r["outcome"] != "ok" or r["violations"]]
+        if bad and not args.json:
+            for r in bad:
+                for violation in r["violations"]:
+                    print(f"      - [{r['index']}] {violation}")
+        return 1 if bad else 0
+
+    # mode == "shrink": minimize one failing scenario from this campaign.
+    spec = specs[args.index]
+    try:
+        minimal, steps = shrink_scenario(spec)
+    except ValueError as exc:
+        print(f"scenario {args.index} ({spec.desc}): {exc}")
+        return 0
+    print(f"shrunk {spec.desc} in {len(steps)} step(s):")
+    for step in steps:
+        print(f"  - {step}")
+    print(minimal.to_json())
+    return 0
+
+
 def _cluster_fault_plan(args):
     from repro.faults import FaultPlan
 
@@ -740,6 +855,8 @@ def _run_cluster(args) -> int:
             num_hosts=args.hosts,
             num_tenants=args.tenants,
             policy=args.policy,
+            guest_hv=args.guest_hv,
+            arch=args.arch,
             fault_plan=_cluster_fault_plan(args),
             audit=args.audit,
             slo=args.slo,
@@ -789,6 +906,7 @@ def _run_cluster(args) -> int:
         seed=args.seed,
         policy=args.policy,
         guest_hv=args.guest_hv,
+        arch=args.arch,
         fault_plan=_cluster_fault_plan(args),
     )
     auditor = cluster.enable_audit() if args.audit else None

@@ -38,7 +38,7 @@ from repro.cluster.placement import (
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
-from repro.sim import Simulator, default_costs
+from repro.sim import Simulator, costs_for_arch
 
 __all__ = [
     "Cluster",
@@ -71,6 +71,7 @@ class Cluster:
         seed: int = 0,
         policy: str = "bin-pack",
         guest_hv: str = "kvm",
+        arch: str = "x86",
         stack_levels: int = 2,
         workers: int = 2,
         costs=None,
@@ -80,8 +81,9 @@ class Cluster:
         if num_hosts < 1:
             raise ValueError("a cluster needs at least one host")
         self.seed = seed
+        self.arch = arch
         self.sim = Simulator(seed=seed, fast_forward=fast_forward)
-        self.costs = costs if costs is not None else default_costs()
+        self.costs = costs if costs is not None else costs_for_arch(arch)
         self.fabric = Fabric(self.sim, self.costs)
         self.policy = make_policy(policy)
         #: The deterministic event trace: every placement, migration and
@@ -94,6 +96,7 @@ class Cluster:
                 self.sim,
                 self.costs,
                 guest_hv=guest_hv,
+                arch=arch,
                 stack_levels=stack_levels,
                 workers=workers,
                 seed=seed + i,
@@ -112,9 +115,12 @@ class Cluster:
             self.faults = FaultInjector(self.fabric, fault_plan, seed=seed).attach()
         # Drain boot-time backend startup so the trace starts quiet.
         self.sim.run()
+        # Non-default arches announce themselves; the default keeps the
+        # pre-arch trace (and so every pinned digest) byte-identical.
+        arch_note = f" arch={arch}" if arch != "x86" else ""
         self.log(
             f"cluster up hosts={num_hosts} policy={policy} "
-            f"guest_hv={guest_hv} levels={stack_levels} seed={seed}"
+            f"guest_hv={guest_hv}{arch_note} levels={stack_levels} seed={seed}"
         )
 
     # ------------------------------------------------------------------

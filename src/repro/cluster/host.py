@@ -142,6 +142,7 @@ class ClusterHost:
         sim,
         costs,
         guest_hv: str = "kvm",
+        arch: str = "x86",
         stack_levels: int = 2,
         workers: int = 2,
         seed: int = 0,
@@ -150,6 +151,7 @@ class ClusterHost:
     ) -> None:
         self.name = name
         self.guest_hv = guest_hv
+        self.arch = arch
         self.seed = seed
         self._sim = sim
         self._costs = costs
@@ -209,6 +211,7 @@ class ClusterHost:
             workers=self._workers,
             flow=f"{self.name}-sys",
             seed=self.seed,
+            arch=self.arch,
         )
         self.stack = build_stack(config, machine=self.machine)
         self.boots += 1

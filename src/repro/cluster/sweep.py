@@ -26,28 +26,14 @@ __all__ = [
 SWEEP_POLICIES: Tuple[str, ...] = ("bin-pack", "spread", "load-balance")
 SWEEP_HOST_COUNTS: Tuple[int, ...] = (2, 4)
 
-#: Tenant I/O-model mix for generated fleets: mostly paravirtual, a DVH
-#: virtual-passthrough nested VM and a hardware-coupled straggler.
-_MIX: Tuple[str, ...] = ("virtio", "vp", "virtio", "passthrough")
-
-
 def standard_tenants(count: int) -> List:
-    """A deterministic tenant fleet of ``count`` mixed-I/O tenants."""
-    from repro.cluster import TenantSpec
+    """A deterministic tenant fleet of ``count`` mixed-I/O tenants.
+    The mix formula lives in :mod:`repro.scenarios.generator` (the one
+    generator behind the fuzzer, the audit matrix and these sweeps);
+    this canonical fleet is its unrotated draw."""
+    from repro.scenarios.generator import mixed_tenant_specs
 
-    specs = []
-    for i in range(count):
-        io_model = _MIX[i % len(_MIX)]
-        specs.append(
-            TenantSpec(
-                name=f"t{i}",
-                io_model=io_model,
-                memory_gb=8 + 4 * (i % 3),
-                load=800 + 350 * (i % 5),
-                dirty_pages=32 + 16 * (i % 3),
-            )
-        )
-    return specs
+    return mixed_tenant_specs(count)
 
 
 #: ``run_demo(slo=True)`` sampling program: tick cadence and count.
@@ -60,6 +46,8 @@ def run_demo(
     num_hosts: int = 4,
     num_tenants: int = 6,
     policy: str = "bin-pack",
+    guest_hv: str = "kvm",
+    arch: str = "x86",
     fault_plan=None,
     audit: bool = False,
     slo: bool = False,
@@ -77,7 +65,12 @@ def run_demo(
     from repro.cluster import Cluster
 
     cluster = Cluster(
-        num_hosts=num_hosts, seed=seed, policy=policy, fault_plan=fault_plan
+        num_hosts=num_hosts,
+        seed=seed,
+        policy=policy,
+        guest_hv=guest_hv,
+        arch=arch,
+        fault_plan=fault_plan,
     )
     auditor = cluster.enable_audit() if audit else None
     for spec in standard_tenants(num_tenants):

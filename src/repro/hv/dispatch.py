@@ -32,11 +32,24 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 from repro.hw.ops import Exit, ExitReason
 
 __all__ = [
+    "DispatchTableError",
     "ExitContext",
     "ExitHandlerRegistry",
     "DEFAULT_REGISTRY",
     "recursive_dvh_owner",
 ]
+
+
+class DispatchTableError(LookupError):
+    """An ``ExitReason`` has no registered handler for the active
+    profile.
+
+    Subclasses :class:`LookupError` so pre-existing ``except LookupError``
+    call sites keep working; raised eagerly by
+    :meth:`ExitHandlerRegistry.validate_tables` at stack-build time so a
+    mis-registered (e.g. arch-conditional) reason fails loudly instead of
+    ``None``-dispatching on first occurrence at runtime.
+    """
 
 #: An L0 emulation handler: ``fn(l0_hv, ectx) -> Generator[cost]``.
 L0Handler = Callable[[Any, "ExitContext"], Generator]
@@ -263,7 +276,7 @@ class ExitHandlerRegistry:
             table = self._build_l0_table()
         entry = table[reason.index]
         if entry is None:
-            raise LookupError(f"no L0 handler for {reason}")
+            raise DispatchTableError(f"no L0 handler for {reason}")
         return entry
 
     def _build_guest_table(
@@ -287,8 +300,45 @@ class ExitHandlerRegistry:
             table = self._build_guest_table(name)
         fn = table[reason.index]
         if fn is None:
-            raise LookupError(f"no guest handler for {reason}")
+            raise DispatchTableError(f"no guest handler for {reason}")
         return fn
+
+    def validate_tables(self, profile_name: Optional[str] = None) -> None:
+        """Build-time audit of the flattened dispatch tables.
+
+        Walks the full ``ExitReason`` enum and raises
+        :class:`DispatchTableError` naming every reason that would have
+        ``None``-dispatched at runtime: missing L0 entries always, and
+        missing guest entries when ``profile_name`` is given (a stack
+        with a guest hypervisor needs both tables complete).  Called by
+        :func:`repro.hv.stack.build_stack` for the active profile.
+        """
+        l0_table = self._l0_table
+        if l0_table is None:
+            l0_table = self._build_l0_table()
+        missing = [
+            reason.value
+            for reason, entry in zip(ExitReason, l0_table)
+            if entry is None
+        ]
+        if missing:
+            raise DispatchTableError(
+                f"L0 dispatch table incomplete: no handler for {missing}"
+            )
+        if profile_name is not None:
+            guest_table = self._guest_tables.get(profile_name)
+            if guest_table is None:
+                guest_table = self._build_guest_table(profile_name)
+            missing = [
+                reason.value
+                for reason, fn in zip(ExitReason, guest_table)
+                if fn is None
+            ]
+            if missing:
+                raise DispatchTableError(
+                    f"guest dispatch table for profile {profile_name!r} "
+                    f"incomplete: no handler for {missing}"
+                )
 
     # ------------------------------------------------------------------
     # Routing

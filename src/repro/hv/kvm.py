@@ -212,8 +212,18 @@ class KvmHypervisor:
             metrics.record_forward(vcpu.level, reason_name, owner)
             if tracker is not None:
                 tracker.on_forward(ectx, owner)
-            ectx.charge("l0_emul", c.forward_state_save)
-            yield c.forward_state_save
+            if exit_.reason in self._hv_at(1).profile.delegated_reasons:
+                # Trap delegation (RISC-V hedeleg/hideleg): hardware
+                # vectors the trap straight into the first guest
+                # hypervisor; L0's forwarding software never runs.  The
+                # exit remains a forward for conservation accounting —
+                # only the state-save price is replaced.
+                metrics.count("delegated_traps")
+                ectx.charge("hw_switch", c.delegated_vector)
+                yield c.delegated_vector
+            else:
+                ectx.charge("l0_emul", c.forward_state_save)
+                yield c.forward_state_save
             return (yield from self._deliver(vcpu, exit_, owner, 1, ectx))
         finally:
             if ectx.span is not None and self.machine.spans is not None:

@@ -9,13 +9,20 @@ its driver model imposes.  The dispatch core
 :mod:`repro.hv.kvm` consult the profile; adding a hypervisor flavour
 means writing a profile, not subclass method surgery.
 
-Two profiles ship:
+Three profiles ship:
 
 * ``kvm`` — the paper's host and guest hypervisor (Linux/KVM 4.18);
 * ``xen`` — Xen 4.10 as the guest hypervisor (Figure 10): heavier
   trapping VMCS access patterns (its nested exit handling is less tuned
   for running *under* another hypervisor) and a split-driver I/O model
   whose notifications hop through an event channel into dom0.
+* ``hs`` — a RISC-V H-extension hypervisor running in HS-mode
+  (``arch="riscv"`` only): leaner per-exit CSR traffic than a VMCS, no
+  shadowing equivalent, and — the H-extension's headline feature —
+  *trap delegation*: causes listed in :attr:`delegated_reasons` are
+  vectored by hardware (``hedeleg``/``hideleg``) straight into the
+  first guest hypervisor's handler, short-circuiting L0's forwarding
+  software.
 
 The paper runs Xen as the *guest* hypervisor only ("nested
 virtualization support does not work properly in recent Xen versions
@@ -32,11 +39,17 @@ there is no Xen subclass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.hw.ops import ExitReason
 
-__all__ = ["HypervisorProfile", "KVM_PROFILE", "XEN_PROFILE", "PROFILES"]
+__all__ = [
+    "HypervisorProfile",
+    "HS_PROFILE",
+    "KVM_PROFILE",
+    "XEN_PROFILE",
+    "PROFILES",
+]
 
 
 #: Trapping (read, write) VMCS-access counts per handled exit reason for
@@ -82,6 +95,13 @@ class HypervisorProfile:
     #: Purpose tag of the hypercall the I/O-notification hop performs
     #: (the trapped ``VMCALL`` is charged like any other exit).
     io_notify_hypercall: Optional[str] = None
+    #: Exit reasons hardware vectors directly into the first guest
+    #: hypervisor (RISC-V ``hedeleg``/``hideleg``).  A delegated exit is
+    #: still *forwarded* for accounting purposes — the guest hypervisor's
+    #: handler runs in full — but L0's forwarding software is replaced by
+    #: the cheap ``CostModel.delegated_vector`` hardware redirect.  Empty
+    #: on architectures without a delegation mechanism.
+    delegated_reasons: FrozenSet[ExitReason] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
         # Flattened per-reason (read, write) table indexed by
@@ -113,7 +133,38 @@ XEN_PROFILE = HypervisorProfile(
     io_notify_hypercall="evtchn_send",
 )
 
+#: Trapping (read, write) control-CSR access counts per handled exit
+#: reason for an HS-mode RISC-V hypervisor.  There is no shadowing, so
+#: every access traps, but the H-extension latches the trap reason in
+#: directly-readable CSRs (``scause``/``htval``/``htinst``), so handlers
+#: need fewer reads than KVM's VMCS-walking paths.
+_HS_OP_COUNTS: Dict[ExitReason, Tuple[int, int]] = {
+    reason: (max(reads - 1, 1), max(writes - 1, 1))
+    for reason, (reads, writes) in _KVM_OP_COUNTS.items()
+}
+
+#: Cause classes a real HS-mode hypervisor delegates via
+#: ``hedeleg``/``hideleg``: environment calls from VS-mode (the
+#: ``VMCALL`` analogue of ``ecall``), guest CSR accesses (the
+#: ``MSR_*`` analogue), and ``wfi`` (the ``HLT`` analogue).  MMIO/page
+#: faults stay undelegated: the G-stage tables live at L0.
+HS_PROFILE = HypervisorProfile(
+    name="hs",
+    op_counts=dict(_HS_OP_COUNTS),
+    default_op_counts=(8, 7),
+    shadowed_accesses=0,
+    delegated_reasons=frozenset(
+        {
+            ExitReason.VMCALL,
+            ExitReason.MSR_READ,
+            ExitReason.MSR_WRITE,
+            ExitReason.HLT,
+        }
+    ),
+)
+
 PROFILES: Dict[str, HypervisorProfile] = {
     KVM_PROFILE.name: KVM_PROFILE,
     XEN_PROFILE.name: XEN_PROFILE,
+    HS_PROFILE.name: HS_PROFILE,
 }

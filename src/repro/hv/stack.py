@@ -70,7 +70,9 @@ class StackConfig:
     levels: int = 1
     io_model: str = IO_VIRTIO
     dvh: DvhFeatures = field(default_factory=DvhFeatures.none)
-    #: "kvm" or "xen" — the guest hypervisor flavour (Figure 10).
+    #: "kvm", "xen", or "hs" — the guest hypervisor flavour (Figure 10;
+    #: "hs" is the RISC-V HS-mode hypervisor and requires arch="riscv",
+    #: where a default of "kvm" coerces to it).
     guest_hv: str = "kvm"
     #: Leaf worker vCPUs (the paper's measured config has 4 cores).
     workers: int = 4
@@ -80,9 +82,9 @@ class StackConfig:
     vmcs_shadowing: bool = True
     #: L0 timer-emulation backend: "hrtimer" or "preemption" (S3.2).
     timer_backend: str = "hrtimer"
-    #: Platform cost profile: "x86" (the paper's testbed) or "arm"
-    #: (S3/S4: DVH-VP measured on ARM too; I/O models are
-    #: platform-agnostic).
+    #: Platform cost profile: "x86" (the paper's testbed), "arm"
+    #: (S3/S4: DVH-VP measured on ARM too) or "riscv" (H-extension;
+    #: ROADMAP item 4).  I/O models are platform-agnostic.
     arch: str = "x86"
     #: Steady-state fast-forward (epoch skipping): None = follow the
     #: ``REPRO_FAST_FORWARD`` env default, True/False force it for this
@@ -102,12 +104,24 @@ class StackConfig:
             object.__setattr__(self, "io_model", IO_NATIVE)
         if self.io_model == IO_VIRTUAL_PASSTHROUGH and self.levels < 2:
             raise ValueError("virtual-passthrough targets nested VMs")
-        if self.guest_hv not in ("kvm", "xen"):
-            raise ValueError("guest_hv must be kvm or xen")
+        if self.guest_hv not in ("kvm", "xen", "hs"):
+            raise ValueError("guest_hv must be kvm, xen, or hs")
         if self.timer_backend not in ("hrtimer", "preemption"):
             raise ValueError("timer_backend must be hrtimer or preemption")
-        if self.arch not in ("x86", "arm"):
-            raise ValueError("arch must be x86 or arm")
+        if self.arch not in ("x86", "arm", "riscv"):
+            raise ValueError("arch must be x86, arm, or riscv")
+        if self.arch == "riscv":
+            if self.guest_hv == "kvm":
+                # KVM's RISC-V port *is* an HS-mode hypervisor: the
+                # default guest-hv flavour resolves to the HS profile,
+                # mirroring the io_model coercion above.
+                object.__setattr__(self, "guest_hv", "hs")
+            elif self.guest_hv != "hs":
+                raise ValueError(
+                    f"guest_hv {self.guest_hv!r} is not modeled on riscv"
+                )
+        elif self.guest_hv == "hs":
+            raise ValueError("guest_hv 'hs' requires arch='riscv'")
         if self.ooh is not None:
             # Typed GrantError/GrantConflictError at build time: a
             # misconfigured grant never reaches a built stack.
@@ -168,16 +182,12 @@ def build_stack(config: StackConfig, machine: Machine = None) -> Stack:
     """
     config.validate()
     if machine is None:
-        if config.arch == "arm":
-            from repro.sim.costs import arm_costs
+        from repro.sim.costs import costs_for_arch
 
-            machine = Machine(
-                seed=config.seed,
-                costs=arm_costs(),
-                fast_forward=config.fast_forward,
-            )
-        else:
-            machine = Machine(seed=config.seed, fast_forward=config.fast_forward)
+        costs = None if config.arch == "x86" else costs_for_arch(config.arch)
+        machine = Machine(
+            seed=config.seed, costs=costs, fast_forward=config.fast_forward
+        )
     if config.ooh is not None:
         machine.ooh = GrantTable(config.ooh, machine.metrics)
     stack = Stack(config, machine)
@@ -215,6 +225,9 @@ def _build_virtualized(stack: Stack) -> Stack:
     machine.host_hv = l0
     machine.hv_stack = [l0]
     stack.hvs = [l0]
+    # Fail loudly now (typed DispatchTableError) if any ExitReason would
+    # None-dispatch at runtime for the active guest-hv profile.
+    l0.registry.validate_tables(config.guest_hv if levels >= 2 else None)
 
     # --- VMs and vCPU chains -------------------------------------
     # Worker chains on pCPUs 0..workers-1; backend vCPUs for level j's

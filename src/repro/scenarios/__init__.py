@@ -1,0 +1,59 @@
+"""repro.scenarios — the constrained-random scenario generator.
+
+One seeded draw engine produces fully-resolved, JSON-canonical
+:class:`ScenarioSpec` values covering both stimulus topologies the repo
+exercises (single faulted machine, multi-host cluster) across every
+modeled architecture (x86/VMX, ARM/VHE, RISC-V H-extension).  The
+trap-chain fuzzer, the ``repro audit`` matrix and the cluster sweep all
+feed from this one generator; ``python -m repro scenarios gen|run|shrink``
+is the direct CLI.
+
+Replay contract: ``generate_specs(seed=N)`` is byte-identical across
+runs and machines, and ``run_scenarios`` results depend only on the
+spec bytes — not on ``--jobs``, not on fast-forward mode.
+"""
+
+from repro.scenarios.generator import (
+    ARCH_POOL,
+    CLUSTER_FAULT_CLASSES,
+    MACHINE_FAULT_CLASSES,
+    TENANT_MIX,
+    draw_grants,
+    draw_scenario,
+    draw_stack_shape,
+    generate_specs,
+    mixed_tenant_draws,
+    mixed_tenant_specs,
+    scenario_seed,
+)
+from repro.scenarios.runner import run_scenario, run_scenarios, scenario_cell
+from repro.scenarios.shrink import (
+    default_fails,
+    shrink_candidates,
+    shrink_scenario,
+)
+from repro.scenarios.spec import DVH_NAMES, ScenarioSpec, TenantDraw, dvh_name
+
+__all__ = [
+    "ARCH_POOL",
+    "CLUSTER_FAULT_CLASSES",
+    "DVH_NAMES",
+    "MACHINE_FAULT_CLASSES",
+    "TENANT_MIX",
+    "ScenarioSpec",
+    "TenantDraw",
+    "default_fails",
+    "draw_grants",
+    "draw_scenario",
+    "draw_stack_shape",
+    "dvh_name",
+    "generate_specs",
+    "mixed_tenant_draws",
+    "mixed_tenant_specs",
+    "run_scenario",
+    "run_scenarios",
+    "scenario_cell",
+    "scenario_seed",
+    "shrink_candidates",
+    "shrink_scenario",
+]

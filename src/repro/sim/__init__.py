@@ -1,6 +1,13 @@
 """Discrete-event simulation engine and cycle-cost model."""
 
-from repro.sim.costs import CostModel, arm_costs, default_costs
+from repro.sim.costs import (
+    ARCH_COSTS,
+    CostModel,
+    arm_costs,
+    costs_for_arch,
+    default_costs,
+    riscv_costs,
+)
 from repro.sim.engine import (
     Event,
     Process,
@@ -12,9 +19,12 @@ from repro.sim.engine import (
 from repro.sim.fastforward import FastForward, PeriodicSource
 
 __all__ = [
+    "ARCH_COSTS",
     "CostModel",
     "arm_costs",
+    "costs_for_arch",
     "default_costs",
+    "riscv_costs",
     "Event",
     "FastForward",
     "PeriodicSource",

@@ -40,7 +40,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict
 
-__all__ = ["CostModel", "arm_costs", "default_costs"]
+__all__ = [
+    "ARCH_COSTS",
+    "CostModel",
+    "arm_costs",
+    "costs_for_arch",
+    "default_costs",
+    "riscv_costs",
+]
 
 
 @dataclass(slots=True)
@@ -102,6 +109,12 @@ class CostModel:
     #: L0 saves the nested guest state and prepares the guest hypervisor's
     #: VMCS before reflecting an exit into it (vmcs02 -> vmcs12 writeback).
     forward_state_save: int = 1750
+    #: Hardware-delegated trap vectoring (RISC-V hedeleg/hideleg): the CPU
+    #: redirects a delegated VS-level trap straight into the guest
+    #: hypervisor's handler — swapping a handful of CSRs — so L0's
+    #: forwarding software (``forward_state_save``) never runs.  Unused
+    #: (and unreachable) on profiles with no delegated causes.
+    delegated_vector: int = 400
     #: Software cycles a guest hypervisor spends per handled exit outside
     #: of privileged instructions (its own handler logic).
     ghv_handler_sw: int = 980
@@ -276,3 +289,67 @@ def arm_costs() -> CostModel:
         ghv_vmcs_shadowed=0,
         ghv_reinject_trapped=11,
     )
+
+
+def riscv_costs() -> CostModel:
+    """A cost profile for a RISC-V host with the hypervisor (H)
+    extension, run by an HS-mode hypervisor (ROADMAP item 4; the paper's
+    §3 architecture-generality claim exercised on a third ISA).
+
+    Structural facts the overrides encode:
+
+    * a trap from VS/VU-mode to HS-mode is a lightweight mode switch —
+      ``scause``/``htval``/``htinst`` latch the reason and there is no
+      VMCS-sized state block to load or store — so the raw world switch
+      is the cheapest of the three ISAs;
+    * like ARM, there is no VMCS-shadowing equivalent: every
+      control-CSR access a nested guest hypervisor makes traps, though
+      each trapped CSR swap is cheap;
+    * the emulated nested entry (``sret`` into VS-mode on behalf of a
+      deeper level) copies ``hstatus``/``vsstatus``/``htimedelta`` and
+      friends — far less state than a vmcs12->vmcs02 merge;
+    * two-stage translation (VS-stage then G-stage) makes a nested page
+      walk quadratic in depth, so a guest-page-fault fill is *dearer*
+      than an x86 EPT fill;
+    * trap delegation (``hedeleg``/``hideleg``) lets hardware vector
+      whole cause classes straight into the guest hypervisor —
+      that short-circuit is ``delegated_vector`` (see
+      :data:`repro.hv.profiles.HS_PROFILE`), not a scaled field here.
+    """
+    base = CostModel()
+    return base.scaled(
+        hw_exit=290,
+        hw_entry=250,
+        l0_dispatch=190,
+        emul_hypercall=80,
+        emul_vmcs_access=70,
+        emul_vmptrld=320,
+        emul_vmresume_merge=2_900,
+        forward_state_save=1_450,
+        ghv_vmcs_trapped_reads=14,
+        ghv_vmcs_trapped_writes=12,
+        ghv_vmcs_shadowed=0,
+        ghv_reinject_trapped=10,
+        ghv_vmcs_unshadowed_total=36,
+        ept_violation_fix=2_700,
+    )
+
+
+#: Architecture name -> cost-model factory, the single selection point
+#: used by :func:`repro.hv.stack.build_stack` and the cluster layer.
+ARCH_COSTS = {
+    "x86": default_costs,
+    "arm": arm_costs,
+    "riscv": riscv_costs,
+}
+
+
+def costs_for_arch(arch: str) -> CostModel:
+    """Return the cost model for ``arch`` (``x86``/``arm``/``riscv``)."""
+    try:
+        factory = ARCH_COSTS[arch]
+    except KeyError:
+        raise ValueError(
+            f"unknown arch {arch!r}; expected one of {sorted(ARCH_COSTS)}"
+        ) from None
+    return factory()

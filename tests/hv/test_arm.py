@@ -11,7 +11,7 @@ from repro.workloads.microbench import run_microbenchmark
 
 def test_bad_arch_rejected():
     with pytest.raises(ValueError, match="arch"):
-        build_stack(StackConfig(levels=1, arch="riscv"))
+        build_stack(StackConfig(levels=1, arch="sparc"))
 
 
 def test_arm_uses_arm_cost_profile():

@@ -228,3 +228,54 @@ def test_xen_split_driver_costs_come_from_profile():
     assert XEN_PROFILE.io_notify_sw == 1400
     assert XEN_PROFILE.io_notify_hypercall == "evtchn_send"
     assert KVM_PROFILE.io_notify_sw == 0
+
+
+# ----------------------------------------------------------------------
+# Build-time table validation (typed errors, not None-dispatch)
+# ----------------------------------------------------------------------
+def test_missing_l0_handler_raises_typed_error():
+    from repro.hv.dispatch import DispatchTableError
+
+    reg = ExitHandlerRegistry()  # nothing registered at all
+    with pytest.raises(DispatchTableError, match="VMCALL"):
+        reg.l0_handler(ExitReason.VMCALL)
+    with pytest.raises(DispatchTableError):
+        reg.validate_tables()
+
+
+def test_missing_guest_handler_raises_typed_error():
+    from repro.hv.dispatch import DispatchTableError
+
+    reg = ExitHandlerRegistry()
+
+    @reg.register_l0(default=True)
+    def l0(hv, ectx):
+        yield 0
+
+    # L0 table is complete (default fallback), guest table is empty.
+    reg.validate_tables()
+    with pytest.raises(DispatchTableError, match="incomplete"):
+        reg.validate_tables("kvm")
+    with pytest.raises(DispatchTableError):
+        reg.guest_handler(ExitReason.MMIO, KVM_PROFILE)
+
+
+def test_dispatch_table_error_is_a_lookup_error():
+    """Typed, but still a LookupError so pre-existing broad handlers
+    keep working."""
+    from repro.hv.dispatch import DispatchTableError
+
+    assert issubclass(DispatchTableError, LookupError)
+
+
+def test_build_stack_validates_tables_for_active_profile():
+    """build_stack must surface an incomplete table at *build* time for
+    the profile the stack actually dispatches with."""
+    from repro.hv.dispatch import DispatchTableError
+
+    reg = ExitHandlerRegistry()
+    with pytest.raises(DispatchTableError):
+        reg.validate_tables("hs")
+    # The shipped registry passes for every registered profile.
+    for name in PROFILES:
+        DEFAULT_REGISTRY.validate_tables(name)

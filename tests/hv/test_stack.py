@@ -24,7 +24,7 @@ def test_vp_requires_nesting():
 
 
 def test_bad_guest_hv_rejected():
-    with pytest.raises(ValueError, match="kvm or xen"):
+    with pytest.raises(ValueError, match="kvm, xen, or hs"):
         build_stack(StackConfig(levels=2, guest_hv="hyperv"))
 
 

@@ -182,3 +182,60 @@ def test_latency_tables_ride_metrics_snapshot_and_scale():
     assert h.total == 15  # 3 + 3*4: integer-exact scaling
     assert h.sum == 5000 * 15
     assert m.latency_histogram("svc").total == 3  # original untouched
+
+
+# ----------------------------------------------------------------------
+# Edge cases: empty and single-bucket histograms (the generator sweep's
+# cross-arch bugfix pass pinned these).
+# ----------------------------------------------------------------------
+def test_single_bucket_percentiles_are_the_bucket():
+    h = Histogram()
+    h.record(100, n=5)
+    lo = bucket_lo(bucket_index(100))
+    assert h.percentile(0) == h.percentile(50.0) == h.percentile(100.0) == lo
+    assert h.count_above(lo - 1) == 5
+    assert h.count_above(lo) == 0  # boundary bucket never counted
+
+
+def test_empty_count_above_is_zero_not_phantom():
+    h = Histogram()
+    assert h.count_above(0) == 0
+    assert len(h) == 0
+    assert h.snapshot() == {}
+
+
+def test_merge_with_empty_is_identity_both_ways():
+    h = Histogram()
+    for v in (3, 70, 9_000):
+        h.record(v)
+    into_empty = Histogram().merge(h)
+    assert (into_empty.counts, into_empty.total, into_empty.sum) == (
+        h.counts,
+        h.total,
+        h.sum,
+    )
+    merged = h.copy().merge(Histogram())
+    assert (merged.counts, merged.total, merged.sum) == (h.counts, h.total, h.sum)
+
+
+def test_merge_of_two_empties_stays_empty_and_queryable_errors():
+    merged = Histogram().merge(Histogram())
+    assert merged.total == 0
+    with pytest.raises(ValueError):
+        merged.percentile(99.0)
+
+
+def test_exact_percentile_singleton_every_p():
+    for p in (0, 50, 99, 99.9, 100):
+        assert exact_percentile([7], p) == 7
+
+
+def test_percentile_table_skips_empty_series():
+    """p99 of an empty tenant series must not divide by zero: the table
+    renderer drops series with no samples instead of querying them."""
+    from repro.cluster.telemetry import percentile_table
+    from repro.metrics import Metrics
+
+    m = Metrics()
+    table = percentile_table(m, lambda series: "virtio")
+    assert table == {}
